@@ -1,0 +1,32 @@
+//! Criterion bench for Figure 3: DME candidate Steiner tree construction.
+//!
+//! Measures the candidate-generation cost per cluster size — the inner
+//! loop of the length-matching cluster routing stage.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pacor::dme::{candidates, CandidateConfig};
+use pacor::grid::Point;
+
+fn sinks_of(n: usize) -> Vec<Point> {
+    // Deterministic spiral of n sinks with diagonal spread.
+    (0..n)
+        .map(|i| {
+            let k = i as i32;
+            Point::new(8 + (k * 13) % 37, 8 + (k * 29) % 41)
+        })
+        .collect()
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_dme_candidates");
+    for n in [4usize, 8, 16, 32] {
+        let sinks = sinks_of(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &sinks, |b, sinks| {
+            b.iter(|| candidates(sinks, None, CandidateConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench for Table 1: benchmark design synthesis throughput.
+//!
+//! Table 1 defines the designs; this bench measures how fast the
+//! synthesizer regenerates each one from its published parameters
+//! (relevant because every experiment re-synthesizes its instance).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pacor::BenchDesign;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_synthesis");
+    for design in BenchDesign::SYNTH {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(design.params().name),
+            &design,
+            |b, &design| b.iter(|| design.synthesize(42)),
+        );
+    }
+    // One large design to exercise the dense-obstacle path.
+    group.sample_size(10);
+    group.bench_function("Chip2", |b| b.iter(|| BenchDesign::Chip2.synthesize(42)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

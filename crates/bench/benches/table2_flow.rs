@@ -1,0 +1,35 @@
+//! Criterion bench for Table 2: full-flow runtime per design × variant.
+//!
+//! The paper's Table 2 "Runtime" column reports the wall-clock time of
+//! each flow variant per design; this bench measures the same quantity
+//! (on the synthesized instances) with statistical rigor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pacor::{BenchDesign, FlowConfig, FlowVariant, PacorFlow};
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_flow");
+    group.sample_size(10);
+    for design in [
+        BenchDesign::S1,
+        BenchDesign::S2,
+        BenchDesign::S3,
+        BenchDesign::S4,
+    ] {
+        let problem = design.synthesize(42);
+        for variant in FlowVariant::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(variant.label().replace(' ', "_"), design.params().name),
+                &problem,
+                |b, problem| {
+                    let flow = PacorFlow::new(FlowConfig::for_variant(variant));
+                    b.iter(|| flow.run(problem).expect("valid problem"));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

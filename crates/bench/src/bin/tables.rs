@@ -1,0 +1,195 @@
+//! Regenerates the paper's tables and figures from the reproduction.
+//!
+//! ```sh
+//! cargo run --release -p pacor-bench --bin tables -- table1
+//! cargo run --release -p pacor-bench --bin tables -- table2 [--full]
+//! cargo run --release -p pacor-bench --bin tables -- fig3
+//! cargo run --release -p pacor-bench --bin tables -- ablation
+//! cargo run --release -p pacor-bench --bin tables -- all [--full]
+//! ```
+//!
+//! `--full` includes the Chip1/Chip2-scale designs (minutes instead of
+//! seconds).
+
+use pacor::{BenchDesign, FlowConfig, FlowVariant, RouteReport};
+use pacor_bench::{run_config, run_variant, table1_header, table1_row, BENCH_SEED};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let what = args.first().map(String::as_str).unwrap_or("all");
+
+    match what {
+        "table1" => table1(),
+        "table2" => table2(full),
+        "fig3" => fig3(),
+        "ablation" => ablation(),
+        "sweep" => sweep(),
+        "all" => {
+            table1();
+            println!();
+            table2(full);
+            println!();
+            fig3();
+            println!();
+            ablation();
+        }
+        other => {
+            eprintln!("unknown experiment {other:?}; use table1|table2|fig3|ablation|sweep|all");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Table 1: benchmark design parameters.
+fn table1() {
+    println!("== Table 1: design parameters ==");
+    println!("{}", table1_header());
+    for d in BenchDesign::ALL {
+        println!("{}", table1_row(d));
+    }
+}
+
+/// Table 2: three-variant self-comparison over every design.
+fn table2(full: bool) {
+    println!("== Table 2: computational simulation (seed {BENCH_SEED}, δ=1) ==");
+    println!("{}", RouteReport::table_header());
+    let designs: Vec<BenchDesign> = if full {
+        BenchDesign::ALL.to_vec()
+    } else {
+        BenchDesign::SYNTH.to_vec()
+    };
+    let mut matched = [0usize; 3];
+    let mut total_len = [0u64; 3];
+    for d in designs {
+        for (k, v) in FlowVariant::ALL.into_iter().enumerate() {
+            let r = run_variant(d, v, BENCH_SEED);
+            matched[k] += r.matched_clusters;
+            total_len[k] += r.total_length;
+            println!("{}", r.table_row());
+        }
+        println!();
+    }
+    println!("-- aggregate over designs --");
+    for (k, v) in FlowVariant::ALL.into_iter().enumerate() {
+        println!(
+            "{:<13} matched {:>4}  total length {:>8}",
+            v.label(),
+            matched[k],
+            total_len[k]
+        );
+    }
+    if !full {
+        println!("(run with --full to include Chip1/Chip2)");
+    }
+}
+
+/// Figure 3: candidate Steiner trees for a four-valve cluster.
+fn fig3() {
+    use pacor::dme::{candidates, CandidateConfig};
+    use pacor::grid::Point;
+    println!("== Figure 3: DME candidate Steiner trees (4 sinks) ==");
+    let sinks = vec![
+        Point::new(2, 2),
+        Point::new(14, 6),
+        Point::new(4, 12),
+        Point::new(12, 16),
+    ];
+    let cands = candidates(&sinks, None, CandidateConfig::default());
+    println!(
+        "{:<10} {:>10} {:>12} {:>10}",
+        "candidate", "root", "total len", "ΔL"
+    );
+    for (k, t) in cands.iter().enumerate() {
+        println!(
+            "{:<10} {:>10} {:>12} {:>10}",
+            k,
+            t.root().to_string(),
+            t.total_length(),
+            t.mismatch()
+        );
+    }
+    println!(
+        "{} distinct candidates from one topology; every ΔL ≤ rounding",
+        cands.len()
+    );
+}
+
+/// Seed sweep: Table 2 metrics aggregated over 10 seeds per design —
+/// robustness of the single-seed numbers.
+fn sweep() {
+    const SEEDS: std::ops::Range<u64> = 0..10;
+    println!("== Seed sweep: 10 seeds per design, PACOR variant ==");
+    println!(
+        "{:<8} {:>14} {:>18} {:>10}",
+        "Design", "matched (avg)", "completion (min)", "len (avg)"
+    );
+    for d in BenchDesign::SYNTH {
+        let mut matched = 0usize;
+        let mut total_len = 0u64;
+        let mut min_completion = 1.0f64;
+        let mut n = 0usize;
+        for seed in SEEDS {
+            let r = run_variant(d, FlowVariant::Pacor, seed);
+            matched += r.matched_clusters;
+            total_len += r.total_length;
+            min_completion = min_completion.min(r.completion_rate());
+            n += 1;
+        }
+        println!(
+            "{:<8} {:>11.1}/{:<2} {:>17.0}% {:>10.0}",
+            d.params().name,
+            matched as f64 / n as f64,
+            d.params().multi_clusters,
+            min_completion * 100.0,
+            total_len as f64 / n as f64
+        );
+    }
+}
+
+/// Ablations: λ (Eq. 2/3 weighting) and negotiation parameters (γ, α).
+fn ablation() {
+    println!("== Ablation A1: λ weighting of mismatch vs overlap (S3–S5) ==");
+    println!(
+        "{:<8} {:>6} {:>9} {:>10}",
+        "Design", "λ", "#Matched", "TotalLen"
+    );
+    for d in [BenchDesign::S3, BenchDesign::S4, BenchDesign::S5] {
+        for lambda in [0.0, 0.1, 0.5, 0.9] {
+            let cfg = FlowConfig {
+                lambda,
+                ..FlowConfig::default()
+            };
+            let r = run_config(d, cfg, BENCH_SEED);
+            println!(
+                "{:<8} {:>6.1} {:>9} {:>10}",
+                r.design, lambda, r.matched_clusters, r.total_length
+            );
+        }
+        println!();
+    }
+
+    println!("== Ablation A2: negotiation γ and history α (S5) ==");
+    println!(
+        "{:<6} {:>6} {:>9} {:>10} {:>7}",
+        "γ", "α", "#Matched", "TotalLen", "Compl"
+    );
+    for gamma in [1u32, 3, 10] {
+        for alpha in [0.05f64, 0.1, 0.5] {
+            let cfg = FlowConfig {
+                gamma,
+                history_alpha: alpha,
+                ..FlowConfig::default()
+            };
+            let r = run_config(BenchDesign::S5, cfg, BENCH_SEED);
+            println!(
+                "{:<6} {:>6.2} {:>9} {:>10} {:>6.0}%",
+                gamma,
+                alpha,
+                r.matched_clusters,
+                r.total_length,
+                r.completion_rate() * 100.0
+            );
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Shared helpers for the PACOR benchmark harness.
+//!
+//! The binaries and criterion benches in this crate regenerate every
+//! table and figure of the paper's evaluation (see DESIGN.md §5):
+//!
+//! * `tables table1` — design parameters (Table 1),
+//! * `tables table2` — the three-variant self-comparison (Table 2),
+//! * `tables fig3`   — DME candidate Steiner trees (Figure 3),
+//! * `tables ablation` — λ / negotiation-parameter ablations (A1/A2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pacor::{BenchDesign, FlowConfig, FlowVariant, PacorFlow, RouteReport};
+
+/// The seed every reported experiment uses, for reproducibility.
+pub const BENCH_SEED: u64 = 42;
+
+/// Runs one design under one variant and returns its report.
+///
+/// # Panics
+///
+/// Panics when the synthesized problem fails to route-validate — a
+/// harness bug rather than an experiment outcome.
+pub fn run_variant(design: BenchDesign, variant: FlowVariant, seed: u64) -> RouteReport {
+    let problem = design.synthesize(seed);
+    PacorFlow::new(FlowConfig::for_variant(variant))
+        .run(&problem)
+        .expect("synthesized designs are valid")
+}
+
+/// Runs one design under a custom configuration.
+///
+/// # Panics
+///
+/// Same as [`run_variant`].
+pub fn run_config(design: BenchDesign, config: FlowConfig, seed: u64) -> RouteReport {
+    let problem = design.synthesize(seed);
+    PacorFlow::new(config)
+        .run(&problem)
+        .expect("synthesized designs are valid")
+}
+
+/// Formats a Table 1 row for a design.
+pub fn table1_row(design: BenchDesign) -> String {
+    let p = design.params();
+    format!(
+        "{:<8} {:>4}x{:<4} {:>8} {:>12} {:>6}",
+        p.name, p.width, p.height, p.valves, p.control_pins, p.obstacles
+    )
+}
+
+/// The Table 1 header matching [`table1_row`].
+pub fn table1_header() -> String {
+    format!(
+        "{:<8} {:>9} {:>8} {:>12} {:>6}",
+        "Design", "Size", "#Valves", "#ControlPin", "#Obs"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_variant_completes_s1() {
+        let r = run_variant(BenchDesign::S1, FlowVariant::Pacor, BENCH_SEED);
+        assert_eq!(r.completion_rate(), 1.0);
+    }
+
+    #[test]
+    fn table1_row_contains_params() {
+        let row = table1_row(BenchDesign::S3);
+        assert!(row.contains("S3"));
+        assert!(row.contains("52x52"));
+        assert!(row.contains("93"));
+    }
+}

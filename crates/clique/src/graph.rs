@@ -1,0 +1,238 @@
+//! Node- and edge-weighted undirected graphs for the MWCP.
+
+use serde::{Deserialize, Serialize};
+
+/// An undirected graph with real node weights and real edge weights.
+///
+/// Only pairs connected by [`WeightedGraph::add_edge`] are *adjacent* and
+/// may coexist in a clique; the edge weight contributes to the clique
+/// weight. In the PACOR selection instance node weights are the mismatch
+/// costs `Cm` (Eq. 2) and edge weights the overlap costs `Co` (Eq. 3) —
+/// both non-positive — plus a per-node cardinality bonus added by the
+/// [selection front-end](crate::select_one_per_group).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightedGraph {
+    n: usize,
+    node_w: Vec<f64>,
+    /// Dense adjacency: `Some(w)` = edge with weight `w`.
+    edges: Vec<Option<f64>>,
+}
+
+impl WeightedGraph {
+    /// Creates a graph with `n` isolated nodes of weight 0.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            node_w: vec![0.0; n],
+            edges: vec![None; n * n],
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` for the empty graph.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Sets the weight of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `v >= len()`.
+    pub fn set_node_weight(&mut self, v: usize, w: f64) {
+        self.node_w[v] = w;
+    }
+
+    /// Weight of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `v >= len()`.
+    #[inline]
+    pub fn node_weight(&self, v: usize) -> f64 {
+        self.node_w[v]
+    }
+
+    /// Adds (or overwrites) the undirected edge `(u, v)` with weight `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `u == v` or either endpoint is out of range.
+    pub fn add_edge(&mut self, u: usize, v: usize, w: f64) {
+        assert!(u != v, "self loops are not allowed");
+        assert!(u < self.n && v < self.n, "edge endpoint out of range");
+        self.edges[u * self.n + v] = Some(w);
+        self.edges[v * self.n + u] = Some(w);
+    }
+
+    /// Edge weight of `(u, v)`, or `None` when not adjacent.
+    #[inline]
+    pub fn edge_weight(&self, u: usize, v: usize) -> Option<f64> {
+        if u >= self.n || v >= self.n {
+            return None;
+        }
+        self.edges[u * self.n + v]
+    }
+
+    /// Returns `true` when `u` and `v` are adjacent.
+    #[inline]
+    pub fn adjacent(&self, u: usize, v: usize) -> bool {
+        self.edge_weight(u, v).is_some()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.iter().filter(|e| e.is_some()).count() / 2
+    }
+
+    /// Degree of node `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        (0..self.n).filter(|&u| self.adjacent(u, v)).count()
+    }
+
+    /// Returns `true` when `nodes` (distinct) is a clique.
+    pub fn is_clique(&self, nodes: &[usize]) -> bool {
+        for i in 0..nodes.len() {
+            for j in (i + 1)..nodes.len() {
+                if !self.adjacent(nodes[i], nodes[j]) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Total weight of a node set: node weights plus internal edge weights.
+    /// Non-adjacent pairs contribute nothing, so call [`Self::is_clique`]
+    /// first when clique-ness matters.
+    pub fn weight_of(&self, nodes: &[usize]) -> f64 {
+        let mut w: f64 = nodes.iter().map(|&v| self.node_w[v]).sum();
+        for i in 0..nodes.len() {
+            for j in (i + 1)..nodes.len() {
+                if let Some(e) = self.edge_weight(nodes[i], nodes[j]) {
+                    w += e;
+                }
+            }
+        }
+        w
+    }
+
+    /// Marginal gain of adding `v` to clique `nodes` (assumes
+    /// `v ∉ nodes` and `v` adjacent to all of `nodes`).
+    pub fn marginal_gain(&self, nodes: &[usize], v: usize) -> f64 {
+        self.node_w[v]
+            + nodes
+                .iter()
+                .filter_map(|&u| self.edge_weight(u, v))
+                .sum::<f64>()
+    }
+}
+
+/// A clique found by a solver, with its weight.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CliqueSolution {
+    /// Clique members in ascending order.
+    pub nodes: Vec<usize>,
+    /// Total clique weight (node + internal edge weights).
+    pub weight: f64,
+}
+
+impl CliqueSolution {
+    /// The empty clique of weight 0.
+    pub fn empty() -> Self {
+        Self {
+            nodes: Vec::new(),
+            weight: 0.0,
+        }
+    }
+
+    /// Builds a solution from a node set, computing the weight from `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `nodes` is not a clique of `g`.
+    pub fn from_nodes(g: &WeightedGraph, mut nodes: Vec<usize>) -> Self {
+        nodes.sort_unstable();
+        debug_assert!(g.is_clique(&nodes), "node set is not a clique");
+        let weight = g.weight_of(&nodes);
+        Self { nodes, weight }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> WeightedGraph {
+        let mut g = WeightedGraph::new(3);
+        for v in 0..3 {
+            g.set_node_weight(v, 1.0);
+        }
+        g.add_edge(0, 1, 0.5);
+        g.add_edge(1, 2, -0.25);
+        g.add_edge(0, 2, 0.0);
+        g
+    }
+
+    #[test]
+    fn edges_are_symmetric() {
+        let g = triangle();
+        assert_eq!(g.edge_weight(0, 1), Some(0.5));
+        assert_eq!(g.edge_weight(1, 0), Some(0.5));
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.degree(1), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "self loops")]
+    fn self_loop_panics() {
+        WeightedGraph::new(2).add_edge(1, 1, 0.0);
+    }
+
+    #[test]
+    fn clique_weight_includes_edges() {
+        let g = triangle();
+        assert_eq!(g.weight_of(&[0, 1]), 2.5);
+        assert_eq!(g.weight_of(&[0, 1, 2]), 3.0 + 0.5 - 0.25);
+        assert!(g.is_clique(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn non_clique_detected() {
+        let mut g = WeightedGraph::new(3);
+        g.add_edge(0, 1, 0.0);
+        assert!(!g.is_clique(&[0, 1, 2]));
+        assert!(g.is_clique(&[0, 1]));
+        assert!(g.is_clique(&[2]));
+        assert!(g.is_clique(&[]));
+    }
+
+    #[test]
+    fn marginal_gain_matches_delta() {
+        let g = triangle();
+        let base = g.weight_of(&[0, 1]);
+        let with = g.weight_of(&[0, 1, 2]);
+        assert!((g.marginal_gain(&[0, 1], 2) - (with - base)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solution_from_nodes_sorts() {
+        let g = triangle();
+        let s = CliqueSolution::from_nodes(&g, vec![2, 0]);
+        assert_eq!(s.nodes, vec![0, 2]);
+        assert_eq!(s.weight, 2.0);
+    }
+
+    #[test]
+    fn empty_solution() {
+        let s = CliqueSolution::empty();
+        assert!(s.nodes.is_empty());
+        assert_eq!(s.weight, 0.0);
+    }
+}

@@ -1,0 +1,365 @@
+//! One-candidate-per-group selection via the MWCP — the exact shape of
+//! PACOR's candidate Steiner tree selection (Section 4.2).
+//!
+//! Groups are clusters; items are candidate Steiner trees. Item weights
+//! are the (non-positive) mismatch costs `Cm` of Eq. (2); pair weights are
+//! the (non-positive) overlap costs `Co` of Eq. (3) between items of
+//! *different* groups. The paper builds a graph whose maximum weight
+//! clique is the selection. With all weights non-positive the literal
+//! maximum weight clique would be empty, so — like the ILP formulation,
+//! which constrains one pick per cluster — we add a constant cardinality
+//! bonus `B` to every node, large enough that any clique with more
+//! members outweighs any clique with fewer. The optimum then selects one
+//! item from every group whenever the conflict graph admits it (it always
+//! does: cross-group pairs are always adjacent).
+
+use crate::{BranchAndBound, CliqueSolution, Solver, TabuLocalSearch, WeightedGraph};
+use serde::{Deserialize, Serialize};
+
+/// A cross-group pair cost entry: `((group_a, item_a), (group_b, item_b),
+/// cost)`.
+pub type PairCost = ((usize, usize), (usize, usize), f64);
+
+/// A selection instance: groups of items with weights and cross-group
+/// pair costs.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SelectionInstance {
+    /// `groups[g]` = item weights (`Cm`, usually ≤ 0) of group `g`'s
+    /// candidates.
+    pub groups: Vec<Vec<f64>>,
+    /// Cross-group pair costs (`Co`, usually ≤ 0):
+    /// `((group_a, item_a), (group_b, item_b), cost)`. Pairs not listed
+    /// cost 0. Entries with `group_a == group_b` are ignored.
+    pub pair_costs: Vec<PairCost>,
+}
+
+impl SelectionInstance {
+    /// Creates an instance with the given per-group candidate weights.
+    pub fn new(groups: Vec<Vec<f64>>) -> Self {
+        Self {
+            groups,
+            pair_costs: Vec::new(),
+        }
+    }
+
+    /// Adds a cross-group pair cost.
+    pub fn add_pair_cost(&mut self, a: (usize, usize), b: (usize, usize), cost: f64) {
+        self.pair_costs.push((a, b, cost));
+    }
+
+    /// Total number of items across groups.
+    pub fn item_count(&self) -> usize {
+        self.groups.iter().map(Vec::len).sum()
+    }
+
+    fn flat_index(&self, group: usize, item: usize) -> usize {
+        self.groups[..group].iter().map(Vec::len).sum::<usize>() + item
+    }
+
+    /// Builds the MWCP graph with cardinality bonus `bonus` per node.
+    fn to_graph(&self, bonus: f64) -> WeightedGraph {
+        let n = self.item_count();
+        let mut g = WeightedGraph::new(n);
+        let mut owner = vec![0usize; n];
+        let mut idx = 0;
+        for (gi, group) in self.groups.iter().enumerate() {
+            for &w in group {
+                g.set_node_weight(idx, w + bonus);
+                owner[idx] = gi;
+                idx += 1;
+            }
+        }
+        // Cross-group items are adjacent (cost 0 unless listed).
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if owner[u] != owner[v] {
+                    g.add_edge(u, v, 0.0);
+                }
+            }
+        }
+        for &((ga, ia), (gb, ib), cost) in &self.pair_costs {
+            if ga == gb || ga >= self.groups.len() || gb >= self.groups.len() {
+                continue;
+            }
+            if ia >= self.groups[ga].len() || ib >= self.groups[gb].len() {
+                continue;
+            }
+            let (u, v) = (self.flat_index(ga, ia), self.flat_index(gb, ib));
+            g.add_edge(u, v, cost);
+        }
+        g
+    }
+
+    /// A cardinality bonus strictly dominating every possible cost sum,
+    /// so maximum weight ⇒ maximum cardinality ⇒ one pick per group.
+    fn dominating_bonus(&self) -> f64 {
+        let node_mag: f64 = self
+            .groups
+            .iter()
+            .flatten()
+            .map(|w| w.abs())
+            .fold(0.0, f64::max);
+        let pair_mag: f64 = self.pair_costs.iter().map(|(_, _, c)| c.abs()).sum();
+        let k = self.groups.len().max(1) as f64;
+        // Each pick contributes ≥ -(node_mag + pair_mag); make the bonus
+        // outweigh losing everything k times over, plus margin.
+        (node_mag + pair_mag) * (k + 1.0) + 1.0
+    }
+}
+
+/// Result of a selection: the picked item index per group, and the raw
+/// cost (sum of picked `Cm` plus active `Co`, bonus excluded).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupSelection {
+    /// `picks[g]` = selected item of group `g`.
+    pub picks: Vec<usize>,
+    /// Objective value without the cardinality bonus (≤ 0 in PACOR).
+    pub cost: f64,
+}
+
+/// Selects one item per group maximizing `Σ Cm + Σ Co`, exactly for
+/// instances up to `exact_limit` items, by tabu search beyond.
+///
+/// # Panics
+///
+/// Panics when some group is empty — a cluster always has at least one
+/// candidate Steiner tree.
+///
+/// # Examples
+///
+/// ```
+/// use pacor_clique::{select_one_per_group, SelectionInstance};
+///
+/// let mut inst = SelectionInstance::new(vec![vec![0.0, -0.5], vec![0.0, 0.0]]);
+/// // Candidate (0,0) heavily overlaps candidate (1,0).
+/// inst.add_pair_cost((0, 0), (1, 0), -3.0);
+/// let sel = select_one_per_group(&inst, 64);
+/// // Best: pick (0,0) with (1,1): cost 0. Picking (0,0)+(1,0) costs -3,
+/// // picking (0,1)+anything costs -0.5.
+/// assert_eq!(sel.picks, vec![0, 1]);
+/// assert_eq!(sel.cost, 0.0);
+/// ```
+pub fn select_one_per_group(inst: &SelectionInstance, exact_limit: usize) -> GroupSelection {
+    assert!(
+        inst.groups.iter().all(|g| !g.is_empty()),
+        "every group needs at least one candidate"
+    );
+    if inst.groups.is_empty() {
+        return GroupSelection {
+            picks: Vec::new(),
+            cost: 0.0,
+        };
+    }
+
+    let bonus = inst.dominating_bonus();
+    let graph = inst.to_graph(bonus);
+    let n = inst.item_count();
+    let solution: CliqueSolution = if n <= exact_limit {
+        if n <= 128 {
+            crate::BitBranchAndBound::new().solve(&graph)
+        } else {
+            BranchAndBound::new().solve(&graph)
+        }
+    } else {
+        TabuLocalSearch::new(20 * n).solve(&graph)
+    };
+
+    selection_from_clique(inst, &solution, bonus)
+}
+
+/// Same as [`select_one_per_group`] but with an explicit solver choice.
+pub(crate) fn selection_from_clique(
+    inst: &SelectionInstance,
+    solution: &CliqueSolution,
+    bonus: f64,
+) -> GroupSelection {
+    // Map flat indices back to (group, item).
+    let mut picks = vec![usize::MAX; inst.groups.len()];
+    let mut idx_to_pair = Vec::with_capacity(inst.item_count());
+    for (gi, group) in inst.groups.iter().enumerate() {
+        for ii in 0..group.len() {
+            idx_to_pair.push((gi, ii));
+        }
+    }
+    for &node in &solution.nodes {
+        let (g, i) = idx_to_pair[node];
+        picks[g] = i;
+    }
+    // A heuristic solve might (theoretically) miss a group: patch with the
+    // per-group best node weight so the result is always complete.
+    for (g, p) in picks.iter_mut().enumerate() {
+        if *p == usize::MAX {
+            let best = inst.groups[g]
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                .map(|(i, _)| i)
+                .expect("nonempty group");
+            *p = best;
+        }
+    }
+    let _ = bonus;
+    // Recompute the raw cost from the instance (robust to patching).
+    let mut cost: f64 = picks
+        .iter()
+        .enumerate()
+        .map(|(g, &i)| inst.groups[g][i])
+        .sum();
+    for &((ga, ia), (gb, ib), c) in &inst.pair_costs {
+        if ga != gb
+            && ga < picks.len()
+            && gb < picks.len()
+            && picks[ga] == ia
+            && picks[gb] == ib
+        {
+            cost += c;
+        }
+    }
+    GroupSelection { picks, cost }
+}
+
+/// Convenience: run selection with a specific [`Solver`].
+pub fn select_with_solver(inst: &SelectionInstance, solver: Solver) -> GroupSelection {
+    assert!(
+        inst.groups.iter().all(|g| !g.is_empty()),
+        "every group needs at least one candidate"
+    );
+    if inst.groups.is_empty() {
+        return GroupSelection {
+            picks: Vec::new(),
+            cost: 0.0,
+        };
+    }
+    let bonus = inst.dominating_bonus();
+    let graph = inst.to_graph(bonus);
+    let solution = solver.solve(&graph);
+    selection_from_clique(inst, &solution, bonus)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force optimal selection for small instances.
+    fn brute(inst: &SelectionInstance) -> f64 {
+        fn rec(inst: &SelectionInstance, g: usize, picks: &mut Vec<usize>, best: &mut f64) {
+            if g == inst.groups.len() {
+                let mut cost: f64 = picks
+                    .iter()
+                    .enumerate()
+                    .map(|(gi, &i)| inst.groups[gi][i])
+                    .sum();
+                for &((ga, ia), (gb, ib), c) in &inst.pair_costs {
+                    if ga != gb && picks[ga] == ia && picks[gb] == ib {
+                        cost += c;
+                    }
+                }
+                if cost > *best {
+                    *best = cost;
+                }
+                return;
+            }
+            for i in 0..inst.groups[g].len() {
+                picks.push(i);
+                rec(inst, g + 1, picks, best);
+                picks.pop();
+            }
+        }
+        let mut best = f64::NEG_INFINITY;
+        rec(inst, 0, &mut Vec::new(), &mut best);
+        best
+    }
+
+    #[test]
+    fn picks_one_per_group() {
+        let inst = SelectionInstance::new(vec![vec![-1.0, -2.0], vec![-3.0], vec![0.0, -0.1]]);
+        let sel = select_one_per_group(&inst, 64);
+        assert_eq!(sel.picks.len(), 3);
+        assert_eq!(sel.picks, vec![0, 0, 0]);
+        assert!((sel.cost - (-4.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn avoids_costly_pairs() {
+        let mut inst = SelectionInstance::new(vec![vec![0.0, -0.2], vec![0.0, -0.2]]);
+        inst.add_pair_cost((0, 0), (1, 0), -5.0);
+        let sel = select_one_per_group(&inst, 64);
+        // Optimal: one side dodges the pair at -0.2, total -0.2.
+        assert!((sel.cost - (-0.2)).abs() < 1e-9);
+        assert!(!(sel.picks[0] == 0 && sel.picks[1] == 0));
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        let mut seed = 99u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(11);
+            (seed >> 33) as f64 / (1u64 << 31) as f64
+        };
+        for trial in 0..15 {
+            let ngroups = 2 + trial % 3;
+            let mut groups = Vec::new();
+            for _ in 0..ngroups {
+                let k = 1 + (next() * 3.0) as usize;
+                groups.push((0..k).map(|_| -next() * 2.0).collect::<Vec<_>>());
+            }
+            let mut inst = SelectionInstance::new(groups.clone());
+            for ga in 0..ngroups {
+                for gb in (ga + 1)..ngroups {
+                    for ia in 0..groups[ga].len() {
+                        for ib in 0..groups[gb].len() {
+                            if next() < 0.4 {
+                                inst.add_pair_cost((ga, ia), (gb, ib), -next() * 3.0);
+                            }
+                        }
+                    }
+                }
+            }
+            let sel = select_one_per_group(&inst, 10_000);
+            let opt = brute(&inst);
+            assert!(
+                (sel.cost - opt).abs() < 1e-9,
+                "trial {trial}: got {} expected {}",
+                sel.cost,
+                opt
+            );
+        }
+    }
+
+    #[test]
+    fn heuristic_fallback_is_complete() {
+        // Force the tabu path with exact_limit = 0.
+        let mut inst = SelectionInstance::new(vec![vec![0.0, -1.0]; 4]);
+        inst.add_pair_cost((0, 0), (1, 0), -2.0);
+        let sel = select_one_per_group(&inst, 0);
+        assert_eq!(sel.picks.len(), 4);
+        assert!(sel.picks.iter().all(|&p| p < 2));
+    }
+
+    #[test]
+    fn empty_instance() {
+        let sel = select_one_per_group(&SelectionInstance::default(), 8);
+        assert!(sel.picks.is_empty());
+        assert_eq!(sel.cost, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn empty_group_panics() {
+        select_one_per_group(&SelectionInstance::new(vec![vec![], vec![0.0]]), 8);
+    }
+
+    #[test]
+    fn single_group_picks_heaviest() {
+        let inst = SelectionInstance::new(vec![vec![-3.0, -0.5, -2.0]]);
+        let sel = select_one_per_group(&inst, 8);
+        assert_eq!(sel.picks, vec![1]);
+    }
+
+    #[test]
+    fn solver_front_end_greedy_is_complete() {
+        let inst = SelectionInstance::new(vec![vec![0.0, -1.0], vec![-0.5, 0.0]]);
+        let sel = select_with_solver(&inst, Solver::Greedy);
+        assert_eq!(sel.picks.len(), 2);
+    }
+}

@@ -1,0 +1,410 @@
+//! Path detouring for length matching — Algorithm 2 of the paper.
+
+use crate::{FlowConfig, RoutedCluster, RoutedKind};
+use pacor_grid::{GridLen, GridPath, ObsMap};
+use pacor_route::BoundedAStar;
+
+/// Detours the short full paths of one routed length-matching cluster so
+/// that every member's channel length lands in `[maxL − δ, maxL]`
+/// (Algorithm 2). Returns `true` when the cluster ends up matched.
+///
+/// Segments closest to the valves are detoured first (Definition 6 path
+/// sequences) because they affect no other member. A segment that was
+/// already detoured in this round satisfies the member immediately (its
+/// length grew). On a member whose every segment fails to detour, all
+/// changes are rolled back and the function returns the original
+/// matching state, exactly as the algorithm's restore step prescribes.
+///
+/// Unconstrained clusters ([`RoutedKind::Mst`] / singleton) and clusters
+/// without escape-independent member lengths return their current
+/// matching state unchanged.
+pub fn detour_cluster(
+    obs: &mut ObsMap,
+    rc: &mut RoutedCluster,
+    delta: GridLen,
+    config: &FlowConfig,
+) -> bool {
+    if rc.member_lengths().is_none() {
+        return rc.is_matched(delta);
+    }
+    // Pre-step: compact over-long segments. The negotiation router may
+    // have wired an edge far beyond its Manhattan length to dodge
+    // congestion that has since been resolved (or that settled
+    // elsewhere); matching everyone up to such an outlier would snake the
+    // whole cluster. Rip each inflated segment and rewire it shortest.
+    compact_segments(obs, rc);
+
+    // Snapshot for the restore step.
+    let original_kind = rc.kind.clone();
+    let mut touched: Vec<usize> = Vec::new(); // replaced segment indices
+
+    let mut r = 0u32;
+    loop {
+        // checkEqual.
+        let lens = rc.member_lengths().expect("LM kind checked above");
+        let max_l = *lens.iter().max().expect("nonempty cluster");
+        let shorts: Vec<usize> = (0..lens.len())
+            .filter(|&i| lens[i] + delta < max_l)
+            .collect();
+        if shorts.is_empty() {
+            return true;
+        }
+        r += 1;
+        if r > config.theta {
+            return rc.is_matched(delta);
+        }
+
+        let mut detoured_this_round = vec![false; segment_count(&rc.kind)];
+        for &member in &shorts {
+            // Lengths may have shifted after detouring a shared segment.
+            let lens = rc.member_lengths().expect("LM kind");
+            let max_l = *lens.iter().max().expect("nonempty");
+            if lens[member] + delta >= max_l {
+                continue;
+            }
+            let deficit = (max_l - delta) - lens[member];
+            let seq = path_sequence(&rc.kind, member);
+            let mut success = false;
+            for seg_idx in seq {
+                if detoured_this_round[seg_idx] {
+                    success = true;
+                    break;
+                }
+                // Lengthening a segment lengthens every member routed
+                // through it. Cap the detour so no such member overshoots
+                // maxL — otherwise maxL itself grows and the targets chase
+                // their own tail (runaway snaking).
+                let headroom = (0..lens.len())
+                    .filter(|&m| m != member && path_sequence(&rc.kind, m).contains(&seg_idx))
+                    .map(|m| max_l - lens[m])
+                    .min()
+                    .unwrap_or(u64::MAX);
+                if headroom < deficit {
+                    continue; // shared segment cannot absorb the deficit
+                }
+                let seg = segment(&rc.kind, seg_idx).clone();
+                let lt = seg.len() + deficit;
+                // Sanity cap: a detour blowing a segment up to several
+                // times its length would congest the layer for everyone
+                // else; prefer reporting the cluster unmatched (the
+                // paper's Detour-First column shows exactly this trade).
+                if lt > 4 * seg.len() + 16 {
+                    continue;
+                }
+                // Rip the segment's interior so the detour may reuse the
+                // corridor; endpoints stay blocked (shared junctions).
+                let old_interior: Vec<_> = interior(&seg).to_vec();
+                obs.unblock_all(old_interior.iter().copied());
+                let result = BoundedAStar::new(obs)
+                    .with_node_budget(config.detour_node_budget)
+                    .with_max_overshoot(delta + 2)
+                    .route_at_least(seg.source(), seg.target(), lt);
+                match result {
+                    Some(new_path) => {
+                        obs.block_all(interior(&new_path).iter().copied());
+                        *segment_mut(&mut rc.kind, seg_idx) = new_path;
+                        detoured_this_round[seg_idx] = true;
+                        touched.push(seg_idx);
+                        success = true;
+                        break;
+                    }
+                    None => {
+                        // Re-block the old interior and try the next
+                        // segment up the path sequence.
+                        obs.block_all(old_interior.iter().copied());
+                    }
+                }
+            }
+            if !success {
+                // Restore every replaced segment (Algorithm 2 step 23).
+                restore(obs, rc, original_kind, &touched);
+                return rc.is_matched(delta);
+            }
+        }
+    }
+}
+
+
+/// Interior cells of a segment (everything but the two endpoints); empty
+/// for segments of fewer than three cells, including the zero-length
+/// segments a degenerate tree edge produces.
+fn interior(path: &GridPath) -> &[pacor_grid::Point] {
+    let c = path.cells();
+    if c.len() >= 3 {
+        &c[1..c.len() - 1]
+    } else {
+        &[]
+    }
+}
+
+/// Rips each segment wired longer than its Manhattan distance and tries
+/// to rewire it shortest with plain A\*; keeps the shorter wiring.
+fn compact_segments(obs: &mut ObsMap, rc: &mut RoutedCluster) {
+    use pacor_route::AStar;
+    for i in 0..segment_count(&rc.kind) {
+        let seg = segment(&rc.kind, i).clone();
+        let best = seg.source().manhattan(seg.target());
+        if seg.len() <= best {
+            continue;
+        }
+        let old_interior: Vec<_> = interior(&seg).to_vec();
+        obs.unblock_all(old_interior.iter().copied());
+        let rerouted = AStar::new(obs).point_to_point(seg.source(), seg.target());
+        match rerouted {
+            Some(new_path) if new_path.len() < seg.len() => {
+                obs.block_all(interior(&new_path).iter().copied());
+                *segment_mut(&mut rc.kind, i) = new_path;
+            }
+            _ => {
+                obs.block_all(old_interior.iter().copied());
+            }
+        }
+    }
+}
+
+/// Rolls back all replaced segments to their original paths.
+fn restore(obs: &mut ObsMap, rc: &mut RoutedCluster, original: RoutedKind, touched: &[usize]) {
+    for &i in touched {
+        let cur = segment(&rc.kind, i).clone();
+        obs.unblock_all(interior(&cur).iter().copied());
+    }
+    rc.kind = original;
+    for &i in touched {
+        let orig = segment(&rc.kind, i).clone();
+        obs.block_all(interior(&orig).iter().copied());
+    }
+}
+
+fn segment_count(kind: &RoutedKind) -> usize {
+    match kind {
+        RoutedKind::LmTree { edge_paths, .. } => edge_paths.len(),
+        RoutedKind::LmPair { .. } => 2,
+        _ => 0,
+    }
+}
+
+fn segment(kind: &RoutedKind, i: usize) -> &GridPath {
+    match kind {
+        RoutedKind::LmTree { edge_paths, .. } => &edge_paths[i],
+        RoutedKind::LmPair { half_a, half_b, .. } => {
+            if i == 0 {
+                half_a
+            } else {
+                half_b
+            }
+        }
+        _ => unreachable!("no segments on unconstrained clusters"),
+    }
+}
+
+fn segment_mut(kind: &mut RoutedKind, i: usize) -> &mut GridPath {
+    match kind {
+        RoutedKind::LmTree { edge_paths, .. } => &mut edge_paths[i],
+        RoutedKind::LmPair { half_a, half_b, .. } => {
+            if i == 0 {
+                half_a
+            } else {
+                half_b
+            }
+        }
+        _ => unreachable!("no segments on unconstrained clusters"),
+    }
+}
+
+/// Definition 6: segment indices from the member's valve toward the root.
+fn path_sequence(kind: &RoutedKind, member: usize) -> Vec<usize> {
+    match kind {
+        RoutedKind::LmTree { tree, .. } => {
+            let index: std::collections::HashMap<(usize, usize), usize> = tree
+                .edge_indices()
+                .into_iter()
+                .enumerate()
+                .map(|(i, e)| (e, i))
+                .collect();
+            tree.full_path_nodes(member)
+                .windows(2)
+                .map(|w| index[&(w[0], w[1])])
+                .collect()
+        }
+        RoutedKind::LmPair { .. } => vec![member],
+        _ => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pacor_grid::{Grid, Point};
+    use pacor_valves::{Cluster, ClusterId, ValveId};
+
+    /// A pair with asymmetric halves: valve a 2 units from the junction,
+    /// valve b 6 units. δ=1 requires detouring half_a by ~4.
+    fn asymmetric_pair(obs: &mut ObsMap) -> RoutedCluster {
+        let cells: Vec<Point> = (0..=8).map(|x| Point::new(x, 5)).collect();
+        obs.block_all(cells.iter().copied());
+        let junction = Point::new(2, 5);
+        let half_a = GridPath::new(cells[..=2].to_vec()).unwrap();
+        let mut rev = cells[2..].to_vec();
+        rev.reverse();
+        let half_b = GridPath::new(rev).unwrap();
+        RoutedCluster {
+            cluster: Cluster::new(ClusterId(0), vec![ValveId(0), ValveId(1)], true),
+            member_positions: vec![Point::new(0, 5), Point::new(8, 5)],
+            kind: RoutedKind::LmPair {
+                junction,
+                half_a,
+                half_b,
+            },
+            escape: None,
+        }
+    }
+
+    #[test]
+    fn detours_short_half_to_match() {
+        let grid = Grid::new(16, 16).unwrap();
+        let mut obs = ObsMap::new(&grid);
+        let mut rc = asymmetric_pair(&mut obs);
+        assert_eq!(rc.mismatch(), Some(4));
+        let matched = detour_cluster(&mut obs, &mut rc, 1, &FlowConfig::default());
+        assert!(matched);
+        assert!(rc.mismatch().unwrap() <= 1);
+        // Endpoints unchanged.
+        match &rc.kind {
+            RoutedKind::LmPair {
+                junction, half_a, ..
+            } => {
+                assert_eq!(half_a.source(), Point::new(0, 5));
+                assert_eq!(half_a.target(), *junction);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn detoured_cells_are_blocked() {
+        let grid = Grid::new(16, 16).unwrap();
+        let mut obs = ObsMap::new(&grid);
+        let mut rc = asymmetric_pair(&mut obs);
+        detour_cluster(&mut obs, &mut rc, 1, &FlowConfig::default());
+        for c in rc.net_cells() {
+            assert!(obs.is_blocked(c), "net cell {c} unblocked after detour");
+        }
+    }
+
+    #[test]
+    fn already_matched_is_untouched() {
+        let grid = Grid::new(16, 16).unwrap();
+        let mut obs = ObsMap::new(&grid);
+        let cells: Vec<Point> = (0..=4).map(|x| Point::new(x, 5)).collect();
+        obs.block_all(cells.iter().copied());
+        let half_a = GridPath::new(cells[..=2].to_vec()).unwrap();
+        let mut rev = cells[2..].to_vec();
+        rev.reverse();
+        let half_b = GridPath::new(rev).unwrap();
+        let mut rc = RoutedCluster {
+            cluster: Cluster::new(ClusterId(0), vec![ValveId(0), ValveId(1)], true),
+            member_positions: vec![Point::new(0, 5), Point::new(4, 5)],
+            kind: RoutedKind::LmPair {
+                junction: Point::new(2, 5),
+                half_a: half_a.clone(),
+                half_b,
+            },
+            escape: None,
+        };
+        assert!(detour_cluster(&mut obs, &mut rc, 1, &FlowConfig::default()));
+        match &rc.kind {
+            RoutedKind::LmPair { half_a: a, .. } => assert_eq!(a, &half_a),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn enclosed_segment_restores_and_reports() {
+        // The short half is walled in: no detour room at all.
+        let mut grid = Grid::new(16, 16).unwrap();
+        // Wall a tight box around the first half (0..2, y=5).
+        for x in 0..=3 {
+            grid.set_obstacle(Point::new(x, 4));
+            grid.set_obstacle(Point::new(x, 6));
+        }
+        grid.set_obstacle(Point::new(3, 5)); // also wall the junction side?
+        // Build the asymmetric pair at y=5 with a 1-wide corridor that
+        // cannot absorb any detour.
+        let mut grid = Grid::new(16, 16).unwrap();
+        for x in 0..=2 {
+            grid.set_obstacle(Point::new(x, 4));
+            grid.set_obstacle(Point::new(x, 6));
+        }
+        grid.set_obstacle(Point::new(0, 4));
+        let mut obs = ObsMap::new(&grid);
+        let mut rc = asymmetric_pair(&mut obs);
+        let before = rc.mismatch();
+        let matched = detour_cluster(&mut obs, &mut rc, 1, &FlowConfig::default());
+        // half_a cannot stretch inside its 1-wide corridor, and the only
+        // shared segment fallback is half_b (already the long one, not in
+        // member 0's sequence) — so the cluster stays unmatched with its
+        // original paths restored.
+        assert!(!matched);
+        assert_eq!(rc.mismatch(), before);
+    }
+
+    #[test]
+    fn mst_cluster_is_a_noop() {
+        let grid = Grid::new(8, 8).unwrap();
+        let mut obs = ObsMap::new(&grid);
+        let mut rc = RoutedCluster {
+            cluster: Cluster::new(ClusterId(0), vec![ValveId(0)], false),
+            member_positions: vec![Point::new(2, 2)],
+            kind: RoutedKind::Singleton,
+            escape: None,
+        };
+        assert!(!detour_cluster(&mut obs, &mut rc, 1, &FlowConfig::default()));
+    }
+
+    #[test]
+    fn tree_cluster_detours_leaf_edges() {
+        // Build a small tree by hand: root (5,5); two sinks at unequal
+        // wired distances.
+        use pacor_dme::{SteinerTree, TreeNode};
+        let grid = Grid::new(20, 20).unwrap();
+        let mut obs = ObsMap::new(&grid);
+        let nodes = vec![
+            TreeNode {
+                point: Point::new(5, 5),
+                parent: None,
+                sink: None,
+            },
+            TreeNode {
+                point: Point::new(2, 5),
+                parent: Some(0),
+                sink: Some(0),
+            },
+            TreeNode {
+                point: Point::new(12, 5),
+                parent: Some(0),
+                sink: Some(1),
+            },
+        ];
+        let tree = SteinerTree::new(nodes, 0, vec![1, 2]);
+        // Wire the two edges as straight paths: lengths 3 and 7.
+        let e0 = GridPath::new((2..=5).map(|x| Point::new(x, 5)).collect()).unwrap();
+        let mut cells: Vec<Point> = (5..=12).map(|x| Point::new(x, 5)).collect();
+        cells.reverse(); // child (12,5) → parent (5,5)
+        let e1 = GridPath::new(cells).unwrap();
+        obs.block_all(e0.cells().iter().copied());
+        obs.block_all(e1.cells().iter().copied());
+        let mut rc = RoutedCluster {
+            cluster: Cluster::new(ClusterId(0), vec![ValveId(0), ValveId(1)], true),
+            member_positions: vec![Point::new(2, 5), Point::new(12, 5)],
+            kind: RoutedKind::LmTree {
+                tree,
+                edge_paths: vec![e0, e1],
+            },
+            escape: None,
+        };
+        assert_eq!(rc.mismatch(), Some(4));
+        let matched = detour_cluster(&mut obs, &mut rc, 1, &FlowConfig::default());
+        assert!(matched);
+        assert!(rc.mismatch().unwrap() <= 1);
+    }
+}

@@ -1,0 +1,60 @@
+//! Flow-level error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by the PACOR flow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FlowError {
+    /// The problem definition is inconsistent (details in the message).
+    InvalidProblem(String),
+    /// The underlying grid could not be constructed.
+    Grid(pacor_grid::GridError),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::InvalidProblem(msg) => write!(f, "invalid problem: {msg}"),
+            FlowError::Grid(e) => write!(f, "grid error: {e}"),
+        }
+    }
+}
+
+impl Error for FlowError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FlowError::Grid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<pacor_grid::GridError> for FlowError {
+    fn from(e: pacor_grid::GridError) -> Self {
+        FlowError::Grid(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = FlowError::InvalidProblem("valve off grid".into());
+        assert!(e.to_string().contains("valve off grid"));
+        let g = FlowError::from(pacor_grid::GridError::InvalidDimensions {
+            width: 0,
+            height: 0,
+        });
+        assert!(g.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<FlowError>();
+    }
+}

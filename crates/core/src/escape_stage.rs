@@ -1,0 +1,681 @@
+//! Escape routing with rip-up and de-clustering (paper Sections 3 and 5),
+//! in three escalating phases:
+//!
+//! 1. **Global rounds** — rip every escape and re-solve the whole
+//!    min-cost flow so early winners cannot starve late arrivals;
+//!    failed multi-valve clusters are *de-clustered* into singletons
+//!    (their internal nets ripped), trading matching for routability.
+//! 2. **Incremental recovery** — committed escapes stay put; a failed
+//!    singleton flood-fills to its blocking frontier, rips the walling
+//!    clusters (length-matching clusters only when no unconstrained
+//!    blocker exists — the paper's "higher rip-up cost"), claims the
+//!    freed corridor alone, and the victims re-route behind temporary
+//!    pocket guards so a deterministic router cannot rebuild the wall.
+//!    Valve cells are never attributed as rippable and each cluster is
+//!    ripped at most three times (cycle breaker).
+//! 3. **Last resort** — every round rips all escapes, re-solves
+//!    globally, and de-clusters every multi-valve net still walling a
+//!    failure (analysis runs in the escape-free state, so every wall
+//!    found is an internal net). Strictly reduces the multi-cluster
+//!    count, so it provably reaches the max-completion state.
+
+use crate::lm_routing::reroute_lm_cluster;
+use crate::mst_routing::route_mst_cluster;
+use crate::{FlowConfig, RoutedCluster, RoutedKind};
+use pacor_flow::EscapeNetwork;
+use pacor_grid::{ObsMap, Point};
+use pacor_valves::{Cluster, ClusterId};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Statistics of the escape stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EscapeStats {
+    /// Rip-up / de-clustering rounds executed (≥ 1).
+    pub rounds: u32,
+    /// Clusters de-clustered to singletons along the way.
+    pub declustered: usize,
+    /// Blocking clusters ripped up and re-routed.
+    pub ripped: usize,
+}
+
+/// Connects every routed cluster to a control pin; see the module docs
+/// for the recovery mechanics. On return, successful escape paths are
+/// recorded in each cluster and blocked in `obs`; `routed` may contain
+/// more clusters than it started with (splits). New cluster ids are
+/// assigned from `next_id`.
+pub fn escape_all(
+    obs: &mut ObsMap,
+    routed: &mut Vec<RoutedCluster>,
+    pins: &[Point],
+    config: &FlowConfig,
+    next_id: &mut u32,
+) -> EscapeStats {
+    let mut stats = EscapeStats::default();
+    // Anti-thrash: how often each cluster id has been ripped. A cluster
+    // ripped three times becomes off-limits to further rip-up — two nets
+    // cyclically evicting each other would otherwise burn every round.
+    let mut rip_counts: HashMap<u32, u32> = HashMap::new();
+
+    // ---- Phase 1: global rounds ---------------------------------------
+    // Rip every escape and re-solve the whole min-cost flow, so early
+    // winners cannot starve late-declustered valves; recover multi-valve
+    // failures by de-clustering.
+    for _ in 0..config.max_ripup_rounds {
+        stats.rounds += 1;
+        for rc in routed.iter_mut() {
+            if let Some((esc, _)) = rc.escape.take() {
+                // Escape cell 0 lies on the cluster net and stays blocked.
+                obs.unblock_all(esc.cells().iter().skip(1).copied());
+            }
+        }
+        let sources: Vec<_> = routed.iter().map(|rc| rc.escape_source()).collect();
+        let outcome = EscapeNetwork::build(obs, &sources, pins).solve();
+        let mut failed: Vec<usize> = Vec::new();
+        for (i, route) in outcome.routes.into_iter().enumerate() {
+            match route {
+                Some((path, pin)) => {
+                    obs.block_all(path.cells().iter().skip(1).copied());
+                    routed[i].commit_escape(path, pin);
+                }
+                None => failed.push(i),
+            }
+        }
+        if failed.is_empty() {
+            return stats;
+        }
+        #[cfg(feature = "trace")]
+        for &i in &failed {
+            eprintln!(
+                "phase1 round {}: FAILED source {:?} (cluster {:?})",
+                stats.rounds,
+                routed[i].escape_source().cells,
+                routed[i].cluster.id()
+            );
+        }
+        let mut any_multi = false;
+        failed.sort_unstable();
+        for &i in failed.iter().rev() {
+            if routed[i].cluster.len() >= 2 {
+                any_multi = true;
+                stats.declustered += 1;
+                let rc = routed.remove(i);
+                obs.unblock_all(rc.net_cells());
+                for (k, &m) in rc.cluster.members().iter().enumerate() {
+                    let pos = rc.member_positions[k];
+                    obs.block(pos);
+                    routed.push(singleton(ClusterId(*next_id), m, pos));
+                    *next_id += 1;
+                }
+            }
+        }
+        if !any_multi {
+            break; // only walled-in singletons remain: phase 2
+        }
+    }
+
+    // ---- Phase 2: incremental recovery --------------------------------
+    // Committed escapes now stay put. Remaining failures rip the nets
+    // walling them in, claim the freed corridor alone, and the victims
+    // re-route (internals immediately, escapes in the next iteration's
+    // pending-only solve).
+    for _ in 0..config.max_ripup_rounds {
+        let pending: Vec<usize> = (0..routed.len())
+            .filter(|&i| routed[i].escape.is_none())
+            .collect();
+        if pending.is_empty() {
+            return stats;
+        }
+        stats.rounds += 1;
+        let sources: Vec<_> = pending.iter().map(|&i| routed[i].escape_source()).collect();
+        let outcome = EscapeNetwork::build(obs, &sources, pins).solve();
+        let mut failed: Vec<usize> = Vec::new();
+        for (k, route) in outcome.routes.into_iter().enumerate() {
+            let i = pending[k];
+            match route {
+                Some((path, pin)) => {
+                    obs.block_all(path.cells().iter().skip(1).copied());
+                    routed[i].commit_escape(path, pin);
+                }
+                None => failed.push(i),
+            }
+        }
+        if failed.is_empty() {
+            continue;
+        }
+
+        let mut progress = false;
+        // De-cluster multi-valve failures (ripped victims re-enter here).
+        let mut singles_failed: Vec<Point> = Vec::new();
+        failed.sort_unstable();
+        for &i in failed.iter().rev() {
+            if routed[i].cluster.len() >= 2 {
+                progress = true;
+                stats.declustered += 1;
+                let rc = routed.remove(i);
+                obs.unblock_all(rc.net_cells());
+                for (k, &m) in rc.cluster.members().iter().enumerate() {
+                    let pos = rc.member_positions[k];
+                    obs.block(pos);
+                    routed.push(singleton(ClusterId(*next_id), m, pos));
+                    *next_id += 1;
+                }
+            } else {
+                singles_failed.push(routed[i].member_positions[0]);
+            }
+        }
+
+        for &source in &singles_failed {
+            let find = |routed: &Vec<RoutedCluster>| {
+                routed.iter().position(|rc| {
+                    rc.escape.is_none()
+                        && rc.cluster.len() == 1
+                        && rc.member_positions[0] == source
+                })
+            };
+            let Some(mut cur) = find(routed) else { continue };
+            // Peel blocking shells until the source can escape: a pocket
+            // may be walled by several nets nested behind one another.
+            let mut victims: Vec<RoutedCluster> = Vec::new();
+            let mut pocket: HashSet<Point> = HashSet::new();
+            for _shell in 0..4 {
+                let (blockers, shell_pocket) = blocking_clusters(obs, routed, cur, source, &rip_counts);
+                pocket.extend(shell_pocket);
+                #[cfg(feature = "trace")]
+                eprintln!("shell {_shell}: source {source} blockers {blockers:?}");
+                if blockers.is_empty() {
+                    break; // walled by hard obstacles / valves: unrecoverable
+                }
+                progress = true;
+                let mut blockers = blockers;
+                blockers.sort_unstable();
+                for &b in blockers.iter().rev() {
+                    let rc = routed.remove(b);
+                    stats.ripped += 1;
+                    *rip_counts.entry(rc.cluster.id().0).or_insert(0) += 1;
+                    obs.unblock_all(rc.net_cells());
+                    if let Some((esc, _)) = &rc.escape {
+                        obs.unblock_all(esc.cells().iter().skip(1).copied());
+                    }
+                    // Valve cells are physical and never become routable —
+                    // re-block them at once so the freed-corridor escape
+                    // below cannot run through a valve.
+                    for &pos in &rc.member_positions {
+                        obs.block(pos);
+                    }
+                    victims.push(rc);
+                }
+                cur = find(routed).expect("failed singleton still present");
+                // Claim the freed corridor before the victims re-route.
+                let src = routed[cur].escape_source();
+                let solo = EscapeNetwork::build(obs, &[src], pins).solve();
+                if let Some(Some((path, pin))) = solo.routes.into_iter().next() {
+                    obs.block_all(path.cells().iter().skip(1).copied());
+                    routed[cur].commit_escape(path, pin);
+                    break;
+                }
+                #[cfg(feature = "trace")]
+                eprintln!("  solo escape failed for {source}");
+            }
+            // Guard the pocket and its one-cell rim while the victims
+            // re-route, so a deterministic router cannot simply rebuild
+            // the wall it was just evicted from.
+            let mut guards: Vec<Point> = Vec::new();
+            for &p in &pocket {
+                for q in std::iter::once(p).chain(p.neighbors4()) {
+                    if !obs.is_blocked(q) {
+                        obs.block(q);
+                        guards.push(q);
+                    }
+                }
+            }
+            // Re-route the victims' internal nets; their escapes re-solve
+            // in the next pending-only iteration. Victims that cannot
+            // re-route are de-clustered.
+            for rc in victims {
+                let members = rc.cluster.members().to_vec();
+                let positions = rc.member_positions.clone();
+                let rerouted = match &rc.kind {
+                    RoutedKind::Singleton => {
+                        obs.block(positions[0]);
+                        Some(RoutedCluster {
+                            escape: None,
+                            ..rc.clone()
+                        })
+                    }
+                    RoutedKind::Mst { .. } => {
+                        let demoted = Cluster::new(rc.cluster.id(), members.clone(), false);
+                        route_mst_cluster(obs, &demoted, &positions)
+                    }
+                    RoutedKind::LmPair { .. } | RoutedKind::LmTree { .. } => {
+                        reroute_lm_cluster(obs, rc.cluster.clone(), positions.clone(), config)
+                    }
+                };
+                match rerouted {
+                    Some(new_rc) => {
+                        let mut new_rc = new_rc;
+                        new_rc.escape = None;
+                        routed.push(new_rc);
+                    }
+                    None => {
+                        stats.declustered += 1;
+                        for (k, &m) in members.iter().enumerate() {
+                            obs.block(positions[k]);
+                            routed.push(singleton(ClusterId(*next_id), m, positions[k]));
+                            *next_id += 1;
+                        }
+                    }
+                }
+            }
+            obs.unblock_all(guards);
+        }
+        if !progress {
+            break;
+        }
+    }
+
+    if routed.iter().all(|rc| rc.escape.is_some()) {
+        return stats; // phase 2's final round completed everything
+    }
+
+    // ---- Phase 3: last resort ------------------------------------------
+    // Re-routing around the walls failed (wall-shaped nets *must* span
+    // their gap wherever they are wired). Trade matching for completion:
+    // every round rips ALL escapes and re-solves the global min-cost
+    // flow. Blocker analysis runs in this escape-free state, so every
+    // wall found is an internal *net*; the owning multi-valve clusters
+    // are de-clustered, strictly reducing the multi-cluster count each
+    // round — the loop provably reaches a state where the flow routes
+    // everything physically reachable past valves and hard obstacles.
+    for _ in 0..routed.len() + 4 {
+        for rc in routed.iter_mut() {
+            if let Some((esc, _)) = rc.escape.take() {
+                obs.unblock_all(esc.cells().iter().skip(1).copied());
+            }
+        }
+        let sources: Vec<_> = routed.iter().map(|rc| rc.escape_source()).collect();
+        let outcome = EscapeNetwork::build(obs, &sources, pins).solve();
+        let failed_sources: Vec<Point> = outcome
+            .routes
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.is_none())
+            .map(|(i, _)| routed[i].member_positions[0])
+            .collect();
+
+        let mut progress = false;
+        if !failed_sources.is_empty() {
+            stats.rounds += 1;
+            for &source in &failed_sources {
+                let Some(cur) = routed
+                    .iter()
+                    .position(|rc| rc.member_positions[0] == source)
+                else {
+                    continue;
+                };
+                // No escapes are blocked right now, so every attributed
+                // frontier cell belongs to an internal net. Rip limits no
+                // longer apply: completion outranks everything.
+                let (blockers, _) =
+                    blocking_clusters(obs, routed, cur, source, &HashMap::new());
+                let mut blockers = blockers;
+                blockers.sort_unstable();
+                for &b in blockers.iter().rev() {
+                    if routed[b].cluster.len() < 2 {
+                        continue;
+                    }
+                    progress = true;
+                    stats.declustered += 1;
+                    let rc = routed.remove(b);
+                    obs.unblock_all(rc.net_cells());
+                    for (k, &m) in rc.cluster.members().iter().enumerate() {
+                        let pos = rc.member_positions[k];
+                        obs.block(pos);
+                        routed.push(singleton(ClusterId(*next_id), m, pos));
+                        *next_id += 1;
+                    }
+                }
+            }
+        }
+        if progress {
+            continue; // discard this round's escapes; re-solve globally
+        }
+        // Complete, or no wall left to dissolve: commit and finish.
+        for (i, route) in outcome.routes.into_iter().enumerate() {
+            if let Some((path, pin)) = route {
+                obs.block_all(path.cells().iter().skip(1).copied());
+                routed[i].commit_escape(path, pin);
+            }
+        }
+        return stats;
+    }
+    stats
+}
+
+fn singleton(id: ClusterId, valve: pacor_valves::ValveId, pos: Point) -> RoutedCluster {
+    RoutedCluster {
+        cluster: Cluster::new(id, vec![valve], false),
+        member_positions: vec![pos],
+        kind: RoutedKind::Singleton,
+        escape: None,
+    }
+}
+
+/// Flood-fills free cells from `source` and returns the indices of the
+/// routed clusters whose cells form the blocking frontier — the nets
+/// walling the source in. Unconstrained blockers are preferred (listed
+/// exhaustively); length-matching blockers are included only when no
+/// unconstrained blocker exists. The failed cluster itself (`exclude`)
+/// never appears, valve cells are never attributed (ripping a cluster
+/// cannot free a physical valve), and clusters already ripped three
+/// times are off-limits (cycle breaker).
+fn blocking_clusters(
+    obs: &ObsMap,
+    routed: &[RoutedCluster],
+    exclude: usize,
+    source: Point,
+    rip_counts: &HashMap<u32, u32>,
+) -> (Vec<usize>, HashSet<Point>) {
+    // Cells that can never be freed by a rip: every valve position.
+    let valve_cells: HashSet<Point> = routed
+        .iter()
+        .flat_map(|rc| rc.member_positions.iter().copied())
+        .collect();
+    // Cell ownership of committed geometry.
+    let mut owner: HashMap<Point, usize> = HashMap::new();
+    for (i, rc) in routed.iter().enumerate() {
+        if i == exclude || rip_counts.get(&rc.cluster.id().0).copied().unwrap_or(0) >= 3 {
+            continue;
+        }
+        for c in rc.net_cells() {
+            if !valve_cells.contains(&c) {
+                owner.insert(c, i);
+            }
+        }
+        if let Some((esc, _)) = &rc.escape {
+            for c in esc.cells() {
+                if !valve_cells.contains(c) {
+                    owner.insert(*c, i);
+                }
+            }
+        }
+    }
+
+    // BFS over free cells from the source.
+    let mut seen: HashSet<Point> = HashSet::new();
+    let mut frontier_owners: HashSet<usize> = HashSet::new();
+    let mut queue = VecDeque::new();
+    queue.push_back(source);
+    seen.insert(source);
+    // Bound the flood to a local neighbourhood: blockage is local, and a
+    // full-chip flood on every failure would be wasteful.
+    let limit = 4096usize;
+    while let Some(p) = queue.pop_front() {
+        if seen.len() > limit {
+            break;
+        }
+        for q in p.neighbors4() {
+            if seen.contains(&q) {
+                continue;
+            }
+            if obs.is_blocked(q) {
+                if let Some(&o) = owner.get(&q) {
+                    frontier_owners.insert(o);
+                }
+                continue;
+            }
+            seen.insert(q);
+            queue.push_back(q);
+        }
+    }
+
+    let unconstrained: Vec<usize> = frontier_owners
+        .iter()
+        .copied()
+        .filter(|&i| !routed[i].cluster.is_length_matched())
+        .collect();
+    let picks = if !unconstrained.is_empty() {
+        unconstrained
+    } else {
+        frontier_owners.into_iter().collect()
+    };
+    (picks, seen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pacor_grid::{Grid, GridPath};
+    use pacor_valves::ValveId;
+
+    fn mk_singleton(id: u32, p: Point) -> RoutedCluster {
+        singleton(ClusterId(id), ValveId(id), p)
+    }
+
+    #[test]
+    fn simple_escape_connects_all() {
+        let grid = Grid::new(12, 12).unwrap();
+        let mut obs = ObsMap::new(&grid);
+        obs.block(Point::new(5, 5));
+        obs.block(Point::new(5, 8));
+        let mut routed = vec![
+            mk_singleton(0, Point::new(5, 5)),
+            mk_singleton(1, Point::new(5, 8)),
+        ];
+        let pins = vec![Point::new(0, 5), Point::new(0, 8)];
+        let mut next_id = 10;
+        let stats = escape_all(
+            &mut obs,
+            &mut routed,
+            &pins,
+            &FlowConfig::default(),
+            &mut next_id,
+        );
+        assert_eq!(stats.declustered, 0);
+        assert!(routed.iter().all(|rc| rc.is_complete()));
+        for rc in &routed {
+            for c in rc.escape.as_ref().unwrap().0.cells() {
+                assert!(obs.is_blocked(*c));
+            }
+        }
+    }
+
+    #[test]
+    fn declusters_when_no_pins() {
+        let grid = Grid::new(12, 12).unwrap();
+        let mut obs = ObsMap::new(&grid);
+        let path = GridPath::new((1..=9).map(|y| Point::new(6, y)).collect()).unwrap();
+        obs.block_all(path.cells().iter().copied());
+        let half_a = GridPath::new(path.cells()[..=4].to_vec()).unwrap();
+        let mut rev = path.cells()[4..].to_vec();
+        rev.reverse();
+        let half_b = GridPath::new(rev).unwrap();
+        let mut routed = vec![RoutedCluster {
+            cluster: Cluster::new(ClusterId(0), vec![ValveId(0), ValveId(1)], true),
+            member_positions: vec![Point::new(6, 1), Point::new(6, 9)],
+            kind: RoutedKind::LmPair {
+                junction: Point::new(6, 5),
+                half_a,
+                half_b,
+            },
+            escape: None,
+        }];
+        let mut next_id = 10;
+        let stats = escape_all(
+            &mut obs,
+            &mut routed,
+            &[],
+            &FlowConfig::default(),
+            &mut next_id,
+        );
+        assert_eq!(stats.declustered, 1);
+        assert_eq!(routed.len(), 2);
+        assert!(routed.iter().all(|rc| !rc.is_complete()));
+    }
+
+    #[test]
+    fn ripup_frees_walled_in_singleton() {
+        // A singleton at (6,6) fully enclosed by another cluster's ring
+        // net; rip-up must dissolve the wall and route both.
+        let grid = Grid::new(14, 14).unwrap();
+        let mut obs = ObsMap::new(&grid);
+        // Ring of an MST net around the singleton.
+        let mut ring_cells: Vec<Point> = Vec::new();
+        for x in 4..=8 {
+            ring_cells.push(Point::new(x, 4));
+            ring_cells.push(Point::new(x, 8));
+        }
+        for y in 5..=7 {
+            ring_cells.push(Point::new(4, y));
+            ring_cells.push(Point::new(8, y));
+        }
+        obs.block_all(ring_cells.iter().copied());
+        // Build a connected path covering the ring (order matters only for
+        // GridPath validity; walk the perimeter).
+        let mut walk: Vec<Point> = Vec::new();
+        for x in 4..=8 {
+            walk.push(Point::new(x, 4));
+        }
+        for y in 5..=8 {
+            walk.push(Point::new(8, y));
+        }
+        for x in (4..8).rev() {
+            walk.push(Point::new(x, 8));
+        }
+        for y in (5..8).rev() {
+            walk.push(Point::new(4, y));
+        }
+        let ring_path = GridPath::new(walk).unwrap();
+        let mut routed = vec![
+            RoutedCluster {
+                cluster: Cluster::new(ClusterId(0), vec![ValveId(0), ValveId(1)], false),
+                member_positions: vec![Point::new(4, 4), Point::new(8, 8)],
+                kind: RoutedKind::Mst {
+                    paths: vec![ring_path],
+                },
+                escape: None,
+            },
+            mk_singleton(1, Point::new(6, 6)),
+        ];
+        obs.block(Point::new(6, 6));
+        let pins = vec![Point::new(0, 6), Point::new(0, 9), Point::new(13, 6)];
+        let mut next_id = 10;
+        let stats = escape_all(
+            &mut obs,
+            &mut routed,
+            &pins,
+            &FlowConfig::default(),
+            &mut next_id,
+        );
+        assert!(stats.ripped >= 1, "wall must be ripped: {stats:?}");
+        let singleton_done = routed
+            .iter()
+            .any(|rc| rc.member_positions == vec![Point::new(6, 6)] && rc.is_complete());
+        assert!(singleton_done, "walled-in valve must escape");
+    }
+
+    #[test]
+    fn hard_obstacle_enclosure_is_unrecoverable() {
+        // Enclosed by *grid* obstacles: no cluster to rip; stage ends with
+        // the valve unrouted.
+        let mut grid = Grid::new(10, 10).unwrap();
+        for p in [
+            Point::new(4, 5),
+            Point::new(6, 5),
+            Point::new(5, 4),
+            Point::new(5, 6),
+        ] {
+            grid.set_obstacle(p);
+        }
+        let mut obs = ObsMap::new(&grid);
+        obs.block(Point::new(5, 5));
+        let mut routed = vec![mk_singleton(0, Point::new(5, 5))];
+        let mut next_id = 1;
+        let stats = escape_all(
+            &mut obs,
+            &mut routed,
+            &[Point::new(0, 5)],
+            &FlowConfig::default(),
+            &mut next_id,
+        );
+        assert!(!routed[0].is_complete());
+        assert_eq!(stats.ripped, 0);
+    }
+
+    #[test]
+    fn contention_resolved_by_distant_pin() {
+        let grid = Grid::new(16, 16).unwrap();
+        let mut obs = ObsMap::new(&grid);
+        obs.block(Point::new(2, 8));
+        obs.block(Point::new(4, 8));
+        let mut routed = vec![
+            mk_singleton(0, Point::new(2, 8)),
+            mk_singleton(1, Point::new(4, 8)),
+        ];
+        let pins = vec![Point::new(0, 8), Point::new(15, 8)];
+        let mut next_id = 10;
+        escape_all(
+            &mut obs,
+            &mut routed,
+            &pins,
+            &FlowConfig::default(),
+            &mut next_id,
+        );
+        assert!(routed.iter().all(|rc| rc.is_complete()));
+        let p0 = routed[0].escape.as_ref().unwrap().1;
+        let p1 = routed[1].escape.as_ref().unwrap().1;
+        assert_ne!(p0, p1);
+    }
+
+    #[test]
+    fn lm_blockers_ripped_only_as_last_resort() {
+        // The singleton is walled by an LM pair's net on one side and hard
+        // obstacles elsewhere; the LM cluster must be ripped (no
+        // unconstrained alternative) and re-routed.
+        let mut grid = Grid::new(14, 14).unwrap();
+        // Hard walls: north, east, south of the pocket at (10..13, 5..8).
+        for y in 4..=9 {
+            grid.set_obstacle(Point::new(13, y));
+        }
+        for x in 10..=13 {
+            grid.set_obstacle(Point::new(x, 4));
+            grid.set_obstacle(Point::new(x, 9));
+        }
+        let mut obs = ObsMap::new(&grid);
+        // LM pair net runs vertically at x=9, sealing the pocket's west.
+        let cells: Vec<Point> = (3..=10).map(|y| Point::new(9, y)).collect();
+        obs.block_all(cells.iter().copied());
+        let half_a = GridPath::new(cells[..=3].to_vec()).unwrap();
+        let mut rev = cells[3..].to_vec();
+        rev.reverse();
+        let half_b = GridPath::new(rev).unwrap();
+        let mut routed = vec![
+            RoutedCluster {
+                cluster: Cluster::new(ClusterId(0), vec![ValveId(0), ValveId(1)], true),
+                member_positions: vec![Point::new(9, 3), Point::new(9, 10)],
+                kind: RoutedKind::LmPair {
+                    junction: Point::new(9, 6),
+                    half_a,
+                    half_b,
+                },
+                escape: None,
+            },
+            mk_singleton(2, Point::new(11, 6)),
+        ];
+        obs.block(Point::new(11, 6));
+        let pins = vec![Point::new(0, 6), Point::new(0, 10), Point::new(6, 0)];
+        let mut next_id = 10;
+        let stats = escape_all(
+            &mut obs,
+            &mut routed,
+            &pins,
+            &FlowConfig::default(),
+            &mut next_id,
+        );
+        assert!(stats.ripped >= 1);
+        let pocket_valve = routed
+            .iter()
+            .find(|rc| rc.member_positions == vec![Point::new(11, 6)])
+            .unwrap();
+        assert!(pocket_valve.is_complete(), "pocket valve must escape");
+    }
+}

@@ -1,0 +1,54 @@
+//! Deferred-merge embedding (DME) and candidate Steiner tree construction
+//! for PACOR's length-matching cluster routing (Section 4.1).
+//!
+//! The DME algorithm — originally for zero-skew clock routing
+//! (Chao, Hsu, Ho, Kahng 1992) — embeds a given connection topology such
+//! that every sink lies at the *same* path length from the root, with
+//! minimum total wirelength. PACOR reuses it to pre-balance the channel
+//! lengths of a length-matching valve cluster:
+//!
+//! 1. [`balanced_bipartition`] computes the connection topology by
+//!    recursively splitting the valve set into two equal halves with
+//!    minimum sum of diameters (unit sink capacitance ⇒ balanced binary
+//!    tree);
+//! 2. the bottom-up phase computes *merging regions* — tilted rectangular
+//!    regions ([`Trr`]) every equidistant embedding point lies in;
+//! 3. the top-down phase picks concrete embedding points, snapping
+//!    off-grid merging segments (Lemma 1) and sidestepping blocked cells
+//!    by an expanding loop search, recording every introduced delta
+//!    distance for later detour correction;
+//! 4. [`candidates`] enumerates multiple embeddings (different merging
+//!    node choices — Fig. 3 of the paper) for the MWCP-based selection.
+//!
+//! # Examples
+//!
+//! ```
+//! use pacor_dme::{balanced_bipartition, DmeBuilder};
+//! use pacor_grid::Point;
+//!
+//! let sinks = vec![
+//!     Point::new(2, 2),
+//!     Point::new(10, 2),
+//!     Point::new(2, 10),
+//!     Point::new(10, 10),
+//! ];
+//! let topo = balanced_bipartition(&sinks);
+//! let tree = DmeBuilder::new(&sinks).embed(&topo);
+//! // Perfectly symmetric sinks embed with zero mismatch.
+//! assert_eq!(tree.mismatch(), 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod candidates;
+mod embed;
+mod topology;
+mod tree;
+mod trr;
+
+pub use candidates::{candidates, candidates_with_alternates, CandidateConfig};
+pub use embed::{DmeBuilder, EmbedPolicy};
+pub use topology::{all_topologies, balanced_bipartition, Topology};
+pub use tree::{SteinerTree, TreeNode};
+pub use trr::Trr;

@@ -1,0 +1,150 @@
+//! Property-based tests for the DME embedding.
+
+use pacor_dme::{balanced_bipartition, candidates, CandidateConfig, DmeBuilder, Topology, Trr};
+use pacor_grid::{Grid, ObsMap, Point};
+use proptest::prelude::*;
+
+fn arb_sinks(max_n: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::hash_set((0i32..40, 0i32..40), 2..=max_n)
+        .prop_map(|s| s.into_iter().map(|(x, y)| Point::new(x, y)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn topology_covers_each_sink_once(sinks in arb_sinks(12)) {
+        let topo = balanced_bipartition(&sinks);
+        let mut ids = topo.sinks();
+        ids.sort();
+        prop_assert_eq!(ids, (0..sinks.len()).collect::<Vec<_>>());
+        prop_assert_eq!(topo.sink_count(), sinks.len());
+    }
+
+    #[test]
+    fn topology_is_balanced(sinks in arb_sinks(12)) {
+        fn check(t: &Topology) -> bool {
+            match t {
+                Topology::Leaf(_) => true,
+                Topology::Internal(a, b) => {
+                    let (na, nb) = (a.sink_count(), b.sink_count());
+                    na.abs_diff(nb) <= 1 && check(a) && check(b)
+                }
+            }
+        }
+        prop_assert!(check(&balanced_bipartition(&sinks)));
+    }
+
+    #[test]
+    fn embedding_preserves_sinks(sinks in arb_sinks(10)) {
+        let topo = balanced_bipartition(&sinks);
+        let tree = DmeBuilder::new(&sinks).embed(&topo);
+        for (i, &s) in sinks.iter().enumerate() {
+            prop_assert_eq!(tree.sink_point(i), s);
+        }
+        // Every full path ends at the root.
+        for i in 0..sinks.len() {
+            let path = tree.full_path_nodes(i);
+            prop_assert_eq!(*path.last().unwrap(), tree.root_index());
+        }
+    }
+
+    #[test]
+    fn embedding_mismatch_bounded_by_rounding(sinks in arb_sinks(8)) {
+        // In open space the estimated mismatch is bounded by the total
+        // snapping/rounding slack — DME would be exactly zero-skew in
+        // continuous space. (Detour-case merges budget intentional
+        // lengthening, which Manhattan estimation does not see; their
+        // slack is part of the returned statistic.)
+        let topo = balanced_bipartition(&sinks);
+        let (tree, slack) = DmeBuilder::new(&sinks).embed_with_stats(&topo);
+        // Each merge rounds at most one half-unit per level; slack is in
+        // half-units. The estimated mismatch can also include detour-case
+        // budgets, so compare against a generous linear bound.
+        let diameter = sinks
+            .iter()
+            .flat_map(|a| sinks.iter().map(move |b| a.manhattan(*b)))
+            .max()
+            .unwrap_or(0);
+        prop_assert!(
+            tree.mismatch() <= diameter + slack as u64,
+            "mismatch {} vs diameter {} slack {}",
+            tree.mismatch(),
+            diameter,
+            slack
+        );
+    }
+
+    #[test]
+    fn pair_embedding_is_half_and_half(a in (0i32..30, 0i32..30), b in (0i32..30, 0i32..30)) {
+        let (pa, pb) = (Point::new(a.0, a.1), Point::new(b.0, b.1));
+        prop_assume!(pa != pb);
+        let sinks = [pa, pb];
+        let topo = balanced_bipartition(&sinks);
+        let tree = DmeBuilder::new(&sinks).embed(&topo);
+        let (l0, l1) = (tree.full_path_length(0), tree.full_path_length(1));
+        // The root splits the pair to within one unit (Lemma 1 rounding).
+        prop_assert!(l0.abs_diff(l1) <= 1, "{l0} vs {l1}");
+        prop_assert_eq!(l0 + l1, pa.manhattan(pb));
+    }
+
+    #[test]
+    fn candidates_are_valid_and_deduplicated(sinks in arb_sinks(6)) {
+        let cands = candidates(&sinks, None, CandidateConfig::default());
+        prop_assert!(!cands.is_empty());
+        for (i, t) in cands.iter().enumerate() {
+            prop_assert_eq!(t.sink_count(), sinks.len());
+            for (j, other) in cands.iter().enumerate().skip(i + 1) {
+                let identical = t
+                    .nodes()
+                    .iter()
+                    .zip(other.nodes())
+                    .all(|(a, b)| a.point == b.point);
+                prop_assert!(!identical, "candidates {i} and {j} identical");
+            }
+        }
+    }
+
+    #[test]
+    fn obstacle_avoidance_moves_internal_nodes_off_blockage(
+        sinks in arb_sinks(6),
+        obst in prop::collection::hash_set((0i32..40, 0i32..40), 0..60),
+    ) {
+        let mut grid = Grid::new(40, 40).unwrap();
+        for &(x, y) in &obst {
+            let p = Point::new(x, y);
+            if !sinks.contains(&p) {
+                grid.set_obstacle(p);
+            }
+        }
+        let obs = ObsMap::new(&grid);
+        let topo = balanced_bipartition(&sinks);
+        let tree = DmeBuilder::new(&sinks).with_obstacles(&obs).embed(&topo);
+        for n in tree.nodes() {
+            if n.sink.is_none() {
+                prop_assert!(
+                    !obs.is_blocked(n.point),
+                    "merging node {} on blockage",
+                    n.point
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trr_distance_is_a_pseudometric(
+        a in (0i32..20, 0i32..20), b in (0i32..20, 0i32..20), c in (0i32..20, 0i32..20),
+        ra in 0i64..10, rb in 0i64..10,
+    ) {
+        let ta = Trr::from_point(Point::new(a.0, a.1)).inflate(2 * ra);
+        let tb = Trr::from_point(Point::new(b.0, b.1)).inflate(2 * rb);
+        let tc = Trr::from_point(Point::new(c.0, c.1));
+        // Symmetry.
+        prop_assert_eq!(ta.distance(&tb), tb.distance(&ta));
+        // Intersecting regions have distance 0 and vice versa.
+        prop_assert_eq!(ta.distance(&tb) == 0, ta.intersect(&tb).is_some());
+        // Inflating by the gap makes regions touch.
+        let d = ta.distance(&tc);
+        prop_assert!(ta.inflate(d).intersect(&tc).is_some());
+    }
+}

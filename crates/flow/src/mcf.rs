@@ -1,0 +1,349 @@
+//! Integral minimum-cost maximum-flow via successive shortest paths.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Identifier of a directed edge returned by [`MinCostFlow::add_edge`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EdgeId(usize);
+
+#[derive(Debug, Clone)]
+struct Edge {
+    to: usize,
+    cap: i64,
+    cost: i64,
+    flow: i64,
+}
+
+/// Result of a [`MinCostFlow::solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowResult {
+    /// Units of flow actually routed (≤ the requested amount).
+    pub flow: i64,
+    /// Total cost of the routed flow.
+    pub cost: i64,
+}
+
+/// Minimum-cost flow solver (successive shortest paths with Dijkstra and
+/// Johnson potentials; Bellman–Ford bootstrap when negative costs exist).
+///
+/// Capacities and costs are `i64`; all flows are integral. The solver
+/// sends flow one augmenting path at a time in order of increasing
+/// reduced cost, which yields a min-cost flow for *every* intermediate
+/// flow value — exactly the behaviour needed to "route as many as
+/// possible, cheapest first".
+#[derive(Debug, Clone)]
+pub struct MinCostFlow {
+    graph: Vec<Vec<usize>>, // node -> indices into `edges`
+    edges: Vec<Edge>,
+    has_negative: bool,
+}
+
+impl MinCostFlow {
+    /// Creates a network with `n` nodes (`0..n`).
+    pub fn new(n: usize) -> Self {
+        Self {
+            graph: vec![Vec::new(); n],
+            edges: Vec::new(),
+            has_negative: false,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// Adds a node, returning its index.
+    pub fn add_node(&mut self) -> usize {
+        self.graph.push(Vec::new());
+        self.graph.len() - 1
+    }
+
+    /// Adds a directed edge `u → v` with capacity `cap` and per-unit cost
+    /// `cost`. Returns an [`EdgeId`] usable with [`MinCostFlow::edge_flow`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when an endpoint is out of range or `cap < 0`.
+    pub fn add_edge(&mut self, u: usize, v: usize, cap: i64, cost: i64) -> EdgeId {
+        assert!(u < self.graph.len() && v < self.graph.len(), "endpoint out of range");
+        assert!(cap >= 0, "capacity must be non-negative");
+        if cost < 0 {
+            self.has_negative = true;
+        }
+        let id = self.edges.len();
+        self.graph[u].push(id);
+        self.edges.push(Edge {
+            to: v,
+            cap,
+            cost,
+            flow: 0,
+        });
+        self.graph[v].push(id + 1);
+        self.edges.push(Edge {
+            to: u,
+            cap: 0,
+            cost: -cost,
+            flow: 0,
+        });
+        EdgeId(id)
+    }
+
+    /// Current flow on a forward edge.
+    pub fn edge_flow(&self, id: EdgeId) -> i64 {
+        self.edges[id.0].flow
+    }
+
+    /// Sends up to `max_flow` units from `s` to `t` at minimum cost.
+    /// Augmentation stops early when `t` becomes unreachable, so the
+    /// returned flow may be smaller than requested.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `s` or `t` is out of range.
+    pub fn solve(&mut self, s: usize, t: usize, max_flow: i64) -> FlowResult {
+        assert!(s < self.graph.len() && t < self.graph.len(), "terminal out of range");
+        let n = self.graph.len();
+        let mut potential = vec![0i64; n];
+
+        if self.has_negative {
+            // Bellman–Ford over residual edges with remaining capacity.
+            let mut dist = vec![i64::MAX; n];
+            dist[s] = 0;
+            for _ in 0..n {
+                let mut changed = false;
+                for u in 0..n {
+                    if dist[u] == i64::MAX {
+                        continue;
+                    }
+                    for &eid in &self.graph[u] {
+                        let e = &self.edges[eid];
+                        if e.cap - e.flow > 0 && dist[u] + e.cost < dist[e.to] {
+                            dist[e.to] = dist[u] + e.cost;
+                            changed = true;
+                        }
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            for v in 0..n {
+                if dist[v] != i64::MAX {
+                    potential[v] = dist[v];
+                }
+            }
+        }
+
+        let mut total_flow = 0i64;
+        let mut total_cost = 0i64;
+
+        while total_flow < max_flow {
+            // Dijkstra on reduced costs, stopping as soon as `t` is
+            // settled: unsettled nodes have true distance ≥ dist[t], so
+            // clamping their potential update to dist[t] preserves
+            // non-negative reduced costs (standard SSP early exit).
+            let mut dist = vec![i64::MAX; n];
+            let mut prev_edge = vec![usize::MAX; n];
+            dist[s] = 0;
+            let mut heap = BinaryHeap::new();
+            heap.push(Reverse((0i64, s)));
+            let mut settled_t = false;
+            while let Some(Reverse((d, u))) = heap.pop() {
+                if d > dist[u] {
+                    continue;
+                }
+                if u == t {
+                    settled_t = true;
+                    break;
+                }
+                for &eid in &self.graph[u] {
+                    let e = &self.edges[eid];
+                    if e.cap - e.flow <= 0 {
+                        continue;
+                    }
+                    let nd = d + e.cost + potential[u] - potential[e.to];
+                    debug_assert!(
+                        e.cost + potential[u] - potential[e.to] >= 0,
+                        "negative reduced cost"
+                    );
+                    if nd < dist[e.to] {
+                        dist[e.to] = nd;
+                        prev_edge[e.to] = eid;
+                        heap.push(Reverse((nd, e.to)));
+                    }
+                }
+            }
+            if !settled_t {
+                break; // t unreachable: maximal flow attained
+            }
+            let dt = dist[t];
+            for v in 0..n {
+                potential[v] += dist[v].min(dt);
+            }
+            // Bottleneck along the augmenting path.
+            let mut push = max_flow - total_flow;
+            let mut v = t;
+            while v != s {
+                let eid = prev_edge[v];
+                let e = &self.edges[eid];
+                push = push.min(e.cap - e.flow);
+                v = self.edges[eid ^ 1].to;
+            }
+            // Apply.
+            let mut v = t;
+            while v != s {
+                let eid = prev_edge[v];
+                self.edges[eid].flow += push;
+                self.edges[eid ^ 1].flow -= push;
+                total_cost += push * self.edges[eid].cost;
+                v = self.edges[eid ^ 1].to;
+            }
+            total_flow += push;
+        }
+
+        FlowResult {
+            flow: total_flow,
+            cost: total_cost,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_two_paths() {
+        let mut mcf = MinCostFlow::new(4);
+        mcf.add_edge(0, 1, 1, 1);
+        mcf.add_edge(0, 2, 1, 2);
+        mcf.add_edge(1, 3, 1, 1);
+        mcf.add_edge(2, 3, 1, 2);
+        let r = mcf.solve(0, 3, 10);
+        assert_eq!(r, FlowResult { flow: 2, cost: 6 });
+    }
+
+    #[test]
+    fn respects_requested_flow() {
+        let mut mcf = MinCostFlow::new(2);
+        mcf.add_edge(0, 1, 5, 3);
+        let r = mcf.solve(0, 1, 2);
+        assert_eq!(r, FlowResult { flow: 2, cost: 6 });
+    }
+
+    #[test]
+    fn cheapest_first() {
+        // Capacity 2 wanted but only 1 requested: must take the cheap arc.
+        let mut mcf = MinCostFlow::new(2);
+        let cheap = mcf.add_edge(0, 1, 1, 1);
+        let dear = mcf.add_edge(0, 1, 1, 100);
+        let r = mcf.solve(0, 1, 1);
+        assert_eq!(r.cost, 1);
+        assert_eq!(mcf.edge_flow(cheap), 1);
+        assert_eq!(mcf.edge_flow(dear), 0);
+    }
+
+    #[test]
+    fn unreachable_sink_gives_zero() {
+        let mut mcf = MinCostFlow::new(3);
+        mcf.add_edge(0, 1, 1, 1);
+        let r = mcf.solve(0, 2, 5);
+        assert_eq!(r, FlowResult { flow: 0, cost: 0 });
+    }
+
+    #[test]
+    fn rerouting_via_residual_edges() {
+        // Classic case where the second augmentation must push back flow:
+        //   s→a (1,1), s→b (1,4), a→b (1,0)... build so naive greedy fails.
+        let (s, a, b, t) = (0, 1, 2, 3);
+        let mut mcf = MinCostFlow::new(4);
+        mcf.add_edge(s, a, 1, 1);
+        mcf.add_edge(s, b, 1, 10);
+        mcf.add_edge(a, b, 1, 1);
+        mcf.add_edge(a, t, 1, 10);
+        mcf.add_edge(b, t, 1, 1);
+        // Best for 2 units: s→a→b→t (3) + s→b? b full... the solver must
+        // route s→a→t (11) and s→b→t (11) or s→a→b→t + s→b→t with rewind.
+        let r = mcf.solve(s, t, 2);
+        assert_eq!(r.flow, 2);
+        // Optimal = s→a→b→t (1+1+1=3) + s→b...b→t used; residual forces
+        // s→b (10) + push-back on a→b + a→t (10): total 3 - 1 + 10 + 10 + 1 = 23?
+        // Enumerate: routes {s→a→t, s→b→t} = 11 + 11 = 22;
+        //            {s→a→b→t, s→b→t} infeasible (b→t cap 1).
+        // So optimum is 22.
+        assert_eq!(r.cost, 22);
+    }
+
+    #[test]
+    fn negative_costs_handled() {
+        let mut mcf = MinCostFlow::new(3);
+        mcf.add_edge(0, 1, 1, -5);
+        mcf.add_edge(1, 2, 1, 2);
+        mcf.add_edge(0, 2, 1, 1);
+        let r = mcf.solve(0, 2, 2);
+        assert_eq!(r.flow, 2);
+        assert_eq!(r.cost, -3 + 1);
+    }
+
+    #[test]
+    fn intermediate_flows_are_min_cost() {
+        // Ask for 1 unit in a network whose cheapest s-t path costs 4.
+        let mut mcf = MinCostFlow::new(5);
+        mcf.add_edge(0, 1, 1, 2);
+        mcf.add_edge(1, 4, 1, 2);
+        mcf.add_edge(0, 2, 1, 3);
+        mcf.add_edge(2, 4, 1, 3);
+        mcf.add_edge(0, 3, 1, 1);
+        mcf.add_edge(3, 4, 1, 9);
+        let r = mcf.solve(0, 4, 1);
+        assert_eq!(r, FlowResult { flow: 1, cost: 4 });
+    }
+
+    #[test]
+    fn add_node_grows_network() {
+        let mut mcf = MinCostFlow::new(1);
+        let v = mcf.add_node();
+        assert_eq!(v, 1);
+        mcf.add_edge(0, v, 1, 0);
+        let r = mcf.solve(0, v, 1);
+        assert_eq!(r.flow, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be non-negative")]
+    fn negative_capacity_panics() {
+        MinCostFlow::new(2).add_edge(0, 1, -1, 0);
+    }
+
+    #[test]
+    fn large_grid_like_network() {
+        // 10x10 grid, 5 sources on the left, sink column on the right.
+        let n = 10;
+        let id = |x: usize, y: usize| y * n + x;
+        let t = n * n;
+        let s = n * n + 1;
+        let mut mcf = MinCostFlow::new(n * n + 2);
+        for y in 0..n {
+            for x in 0..n {
+                if x + 1 < n {
+                    mcf.add_edge(id(x, y), id(x + 1, y), 1, 1);
+                    mcf.add_edge(id(x + 1, y), id(x, y), 1, 1);
+                }
+                if y + 1 < n {
+                    mcf.add_edge(id(x, y), id(x, y + 1), 1, 1);
+                    mcf.add_edge(id(x, y + 1), id(x, y), 1, 1);
+                }
+            }
+        }
+        for k in 0..5 {
+            mcf.add_edge(s, id(0, 2 * k), 1, 0);
+            mcf.add_edge(id(n - 1, 2 * k), t, 1, 0);
+        }
+        let r = mcf.solve(s, t, 5);
+        assert_eq!(r.flow, 5);
+        // Straight rows: 9 steps each.
+        assert_eq!(r.cost, 45);
+    }
+}

@@ -1,0 +1,270 @@
+//! Connectivity analysis over the routing grid: connected components,
+//! reachability, and corridor capacity — diagnostic primitives for
+//! routability checks and rip-up planning.
+
+use crate::{Grid, ObsMap, Point};
+use std::collections::VecDeque;
+
+/// Free-cell connected components of an obstacle map.
+///
+/// # Examples
+///
+/// ```
+/// use pacor_grid::{Components, Grid, ObsMap, Point};
+///
+/// let mut grid = Grid::new(5, 5)?;
+/// for y in 0..5 {
+///     grid.set_obstacle(Point::new(2, y)); // full wall
+/// }
+/// let comps = Components::analyze(&ObsMap::new(&grid));
+/// assert_eq!(comps.count(), 2);
+/// assert!(!comps.connected(Point::new(0, 0), Point::new(4, 4)));
+/// # Ok::<(), pacor_grid::GridError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Components {
+    width: u32,
+    /// Component id per cell; `u32::MAX` for blocked cells.
+    label: Vec<u32>,
+    /// Cell count per component.
+    sizes: Vec<usize>,
+}
+
+impl Components {
+    /// Labels the free-cell components of `obs` (4-connectivity).
+    pub fn analyze(obs: &ObsMap) -> Self {
+        let (w, h) = (obs.width(), obs.height());
+        let idx = |p: Point| p.y as usize * w as usize + p.x as usize;
+        let mut label = vec![u32::MAX; w as usize * h as usize];
+        let mut sizes = Vec::new();
+        for y in 0..h as i32 {
+            for x in 0..w as i32 {
+                let start = Point::new(x, y);
+                if obs.is_blocked(start) || label[idx(start)] != u32::MAX {
+                    continue;
+                }
+                let id = sizes.len() as u32;
+                let mut size = 0usize;
+                let mut queue = VecDeque::from([start]);
+                label[idx(start)] = id;
+                while let Some(p) = queue.pop_front() {
+                    size += 1;
+                    for n in p.neighbors4() {
+                        if n.x >= 0
+                            && n.y >= 0
+                            && (n.x as u32) < w
+                            && (n.y as u32) < h
+                            && !obs.is_blocked(n)
+                            && label[idx(n)] == u32::MAX
+                        {
+                            label[idx(n)] = id;
+                            queue.push_back(n);
+                        }
+                    }
+                }
+                sizes.push(size);
+            }
+        }
+        Self {
+            width: w,
+            label,
+            sizes,
+        }
+    }
+
+    /// Number of free components.
+    pub fn count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Component id of a free cell, `None` for blocked / out-of-bounds.
+    pub fn component(&self, p: Point) -> Option<u32> {
+        if p.x < 0 || p.y < 0 || (p.x as u32) >= self.width {
+            return None;
+        }
+        let i = p.y as usize * self.width as usize + p.x as usize;
+        match self.label.get(i) {
+            Some(&l) if l != u32::MAX => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Size (free cells) of the component containing `p`.
+    pub fn size_of(&self, p: Point) -> Option<usize> {
+        self.component(p).map(|c| self.sizes[c as usize])
+    }
+
+    /// Returns `true` when two free cells share a component.
+    pub fn connected(&self, a: Point, b: Point) -> bool {
+        match (self.component(a), self.component(b)) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        }
+    }
+}
+
+/// The maximum number of vertex-disjoint free corridors between the
+/// neighbourhoods of `a` and `b` — an upper bound on how many channels
+/// can simultaneously pass between the two regions. Computed by
+/// repeatedly carving vertex-disjoint shortest paths (a lower bound on
+/// the true vertex cut, exact when paths don't interleave; good enough
+/// for capacity diagnostics).
+///
+/// Endpoints themselves are exempt from blockage, mirroring router
+/// semantics.
+///
+/// # Examples
+///
+/// ```
+/// use pacor_grid::{corridor_capacity, Grid, ObsMap, Point};
+///
+/// let grid = Grid::new(7, 3)?;
+/// let obs = ObsMap::new(&grid);
+/// // A 3-row open grid carries 3 disjoint horizontal corridors.
+/// let c = corridor_capacity(&obs, Point::new(0, 1), Point::new(6, 1), 8);
+/// assert_eq!(c, 3);
+/// # Ok::<(), pacor_grid::GridError>(())
+/// ```
+pub fn corridor_capacity(obs: &ObsMap, a: Point, b: Point, limit: usize) -> usize {
+    let mut scratch = obs.clone();
+    let mut count = 0usize;
+    while count < limit {
+        // BFS shortest path with endpoint exemption.
+        let mut prev: std::collections::HashMap<Point, Point> = std::collections::HashMap::new();
+        let mut queue = VecDeque::from([a]);
+        prev.insert(a, a);
+        let mut found = false;
+        while let Some(p) = queue.pop_front() {
+            if p == b {
+                found = true;
+                break;
+            }
+            for n in p.neighbors4() {
+                if prev.contains_key(&n) {
+                    continue;
+                }
+                if scratch.is_blocked(n) && n != b {
+                    continue;
+                }
+                prev.insert(n, p);
+                queue.push_back(n);
+            }
+        }
+        if !found {
+            break;
+        }
+        // Carve the interior of the path out of the scratch map.
+        let mut cur = b;
+        while cur != a {
+            let p = prev[&cur];
+            if cur != b {
+                scratch.block(cur);
+            }
+            cur = p;
+        }
+        count += 1;
+    }
+    count
+}
+
+/// Helper: the components of a plain grid (no transient blocks).
+pub fn grid_components(grid: &Grid) -> Components {
+    Components::analyze(&ObsMap::new(grid))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_grid_is_one_component() {
+        let g = Grid::new(6, 6).unwrap();
+        let c = grid_components(&g);
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.size_of(Point::new(0, 0)), Some(36));
+        assert!(c.connected(Point::new(0, 0), Point::new(5, 5)));
+    }
+
+    #[test]
+    fn wall_splits_components() {
+        let mut g = Grid::new(6, 6).unwrap();
+        for y in 0..6 {
+            g.set_obstacle(Point::new(3, y));
+        }
+        let c = grid_components(&g);
+        assert_eq!(c.count(), 2);
+        assert!(!c.connected(Point::new(0, 0), Point::new(5, 0)));
+        assert_eq!(c.size_of(Point::new(0, 0)), Some(18));
+        assert_eq!(c.component(Point::new(3, 3)), None);
+    }
+
+    #[test]
+    fn pocket_component() {
+        let mut g = Grid::new(6, 6).unwrap();
+        for p in [
+            Point::new(1, 2),
+            Point::new(3, 2),
+            Point::new(2, 1),
+            Point::new(2, 3),
+        ] {
+            g.set_obstacle(p);
+        }
+        let c = grid_components(&g);
+        assert_eq!(c.count(), 2);
+        assert_eq!(c.size_of(Point::new(2, 2)), Some(1));
+    }
+
+    #[test]
+    fn out_of_bounds_has_no_component() {
+        let g = Grid::new(4, 4).unwrap();
+        let c = grid_components(&g);
+        assert_eq!(c.component(Point::new(-1, 0)), None);
+        assert_eq!(c.component(Point::new(9, 9)), None);
+    }
+
+    #[test]
+    fn corridor_capacity_open_rows() {
+        // Disjoint paths between two *points* are capped by the endpoint
+        // degree: a boundary cell has three neighbors.
+        let g = Grid::new(9, 5).unwrap();
+        let obs = ObsMap::new(&g);
+        let c = corridor_capacity(&obs, Point::new(0, 2), Point::new(8, 2), 10);
+        assert_eq!(c, 3);
+    }
+
+    #[test]
+    fn corridor_capacity_through_gap() {
+        let mut g = Grid::new(9, 5).unwrap();
+        for y in 0..5 {
+            if y != 2 {
+                g.set_obstacle(Point::new(4, y));
+            }
+        }
+        let obs = ObsMap::new(&g);
+        let c = corridor_capacity(&obs, Point::new(0, 2), Point::new(8, 2), 10);
+        assert_eq!(c, 1, "single-cell gap carries one channel");
+    }
+
+    #[test]
+    fn corridor_capacity_zero_when_walled() {
+        let mut g = Grid::new(9, 5).unwrap();
+        for y in 0..5 {
+            g.set_obstacle(Point::new(4, y));
+        }
+        let obs = ObsMap::new(&g);
+        assert_eq!(
+            corridor_capacity(&obs, Point::new(0, 2), Point::new(8, 2), 10),
+            0
+        );
+    }
+
+    #[test]
+    fn corridor_capacity_respects_limit() {
+        let g = Grid::new(9, 9).unwrap();
+        let obs = ObsMap::new(&g);
+        assert_eq!(
+            corridor_capacity(&obs, Point::new(0, 4), Point::new(8, 4), 2),
+            2
+        );
+    }
+}

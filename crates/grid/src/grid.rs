@@ -1,0 +1,369 @@
+//! The routing grid.
+
+use crate::{GridError, Point, Rect};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// State of a single routing-grid cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Cell {
+    /// Free for routing.
+    #[default]
+    Free,
+    /// Permanently blocked (flow-layer feature, placement obstacle, ...).
+    Obstacle,
+    /// Occupied by a routed control channel belonging to net `id`.
+    Occupied(u32),
+}
+
+impl Cell {
+    /// Returns `true` when a new channel may pass through this cell.
+    #[inline]
+    pub fn is_routable(self) -> bool {
+        matches!(self, Cell::Free)
+    }
+}
+
+/// A uniform routing grid of `width × height` cells.
+///
+/// Grid coordinates run `0..width` in `x` and `0..height` in `y`. The grid
+/// is the single source of truth for permanent obstacles; transient
+/// per-iteration blockages live in [`ObsMap`](crate::ObsMap).
+///
+/// # Examples
+///
+/// ```
+/// use pacor_grid::{Cell, Grid, Point};
+///
+/// let mut g = Grid::new(12, 12)?;
+/// g.set_obstacle(Point::new(4, 4));
+/// assert_eq!(g.cell(Point::new(4, 4)), Some(Cell::Obstacle));
+/// assert_eq!(g.boundary_points().count(), 44);
+/// # Ok::<(), pacor_grid::GridError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Grid {
+    width: u32,
+    height: u32,
+    cells: Vec<Cell>,
+}
+
+/// Upper bound on either grid dimension; keeps `width * height` well inside
+/// `usize` and catches wildly wrong inputs early.
+const MAX_DIM: u32 = 1 << 16;
+
+impl Grid {
+    /// Creates an all-free grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::InvalidDimensions`] when either dimension is
+    /// zero or exceeds an internal sanity bound (65536).
+    pub fn new(width: u32, height: u32) -> Result<Self, GridError> {
+        if width == 0 || height == 0 || width > MAX_DIM || height > MAX_DIM {
+            return Err(GridError::InvalidDimensions { width, height });
+        }
+        Ok(Self {
+            width,
+            height,
+            cells: vec![Cell::Free; width as usize * height as usize],
+        })
+    }
+
+    /// Grid width in cells.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Grid height in cells.
+    #[inline]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Total number of cells.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Returns `true` for the degenerate empty grid (never constructible
+    /// via [`Grid::new`], kept for `is_empty`/`len` pairing).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Returns `true` when `p` lies inside the grid.
+    #[inline]
+    pub fn in_bounds(&self, p: Point) -> bool {
+        p.x >= 0 && p.y >= 0 && (p.x as u32) < self.width && (p.y as u32) < self.height
+    }
+
+    /// Dense index of an in-bounds point.
+    #[inline]
+    pub fn index_of(&self, p: Point) -> Option<usize> {
+        if self.in_bounds(p) {
+            Some(p.y as usize * self.width as usize + p.x as usize)
+        } else {
+            None
+        }
+    }
+
+    /// The point corresponding to a dense index produced by
+    /// [`Grid::index_of`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx >= self.len()`.
+    #[inline]
+    pub fn point_of(&self, idx: usize) -> Point {
+        assert!(idx < self.len(), "index {idx} out of range");
+        Point::new(
+            (idx % self.width as usize) as i32,
+            (idx / self.width as usize) as i32,
+        )
+    }
+
+    /// Cell state at `p`, or `None` when out of bounds.
+    #[inline]
+    pub fn cell(&self, p: Point) -> Option<Cell> {
+        self.index_of(p).map(|i| self.cells[i])
+    }
+
+    /// Sets the cell state at `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::OutOfBounds`] when `p` lies outside the grid.
+    pub fn set_cell(&mut self, p: Point, cell: Cell) -> Result<(), GridError> {
+        match self.index_of(p) {
+            Some(i) => {
+                self.cells[i] = cell;
+                Ok(())
+            }
+            None => Err(GridError::OutOfBounds {
+                point: p,
+                width: self.width,
+                height: self.height,
+            }),
+        }
+    }
+
+    /// Marks `p` as a permanent obstacle; out-of-bounds points are ignored
+    /// (obstacle lists from synthesized designs may touch the border).
+    pub fn set_obstacle(&mut self, p: Point) {
+        if let Some(i) = self.index_of(p) {
+            self.cells[i] = Cell::Obstacle;
+        }
+    }
+
+    /// Marks every cell of `rect` (clipped to the grid) as an obstacle.
+    pub fn set_obstacle_rect(&mut self, rect: Rect) {
+        for p in rect.cells() {
+            self.set_obstacle(p);
+        }
+    }
+
+    /// Returns `true` when `p` is a permanent obstacle (out-of-bounds
+    /// points count as obstacles).
+    #[inline]
+    pub fn is_obstacle(&self, p: Point) -> bool {
+        match self.cell(p) {
+            Some(Cell::Obstacle) => true,
+            Some(_) => false,
+            None => true,
+        }
+    }
+
+    /// Returns `true` when `p` is inside the grid and currently routable.
+    #[inline]
+    pub fn is_routable(&self, p: Point) -> bool {
+        matches!(self.cell(p), Some(c) if c.is_routable())
+    }
+
+    /// Number of permanent obstacle cells.
+    pub fn obstacle_count(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| matches!(c, Cell::Obstacle))
+            .count()
+    }
+
+    /// In-bounds axis-aligned neighbors of `p`.
+    pub fn neighbors(&self, p: Point) -> impl Iterator<Item = Point> + '_ {
+        p.neighbors4().into_iter().filter(|q| self.in_bounds(*q))
+    }
+
+    /// All boundary cells, counter-clockwise from the origin. Control pins
+    /// are placed on the boundary (Section 5: escape routing targets).
+    pub fn boundary_points(&self) -> impl Iterator<Item = Point> + '_ {
+        let (w, h) = (self.width as i32, self.height as i32);
+        let pts: Vec<Point> = if w == 1 {
+            (0..h).map(|y| Point::new(0, y)).collect()
+        } else if h == 1 {
+            (0..w).map(|x| Point::new(x, 0)).collect()
+        } else {
+            let bottom = (0..w).map(|x| Point::new(x, 0));
+            let right = (1..h).map(|y| Point::new(w - 1, y));
+            let top = (0..w - 1).rev().map(|x| Point::new(x, h - 1));
+            let left = (1..h - 1).rev().map(|y| Point::new(0, y));
+            bottom.chain(right).chain(top).chain(left).collect()
+        };
+        pts.into_iter()
+    }
+
+    /// Returns `true` when `p` lies on the chip boundary.
+    #[inline]
+    pub fn is_boundary(&self, p: Point) -> bool {
+        self.in_bounds(p)
+            && (p.x == 0
+                || p.y == 0
+                || p.x as u32 == self.width - 1
+                || p.y as u32 == self.height - 1)
+    }
+
+    /// Clamps a (possibly out-of-chip) point to the nearest in-bounds cell.
+    pub fn clamp(&self, p: Point) -> Point {
+        Point::new(
+            p.x.clamp(0, self.width as i32 - 1),
+            p.y.clamp(0, self.height as i32 - 1),
+        )
+    }
+
+    /// The rectangle covering the whole grid.
+    pub fn bounds(&self) -> Rect {
+        Rect::from_corners(
+            Point::new(0, 0),
+            Point::new(self.width as i32 - 1, self.height as i32 - 1),
+        )
+    }
+}
+
+impl fmt::Display for Grid {
+    /// Renders the grid as ASCII art (`.` free, `#` obstacle, `*` occupied),
+    /// row `y = height-1` first so the origin is bottom-left.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for y in (0..self.height as i32).rev() {
+            for x in 0..self.width as i32 {
+                let ch = match self.cell(Point::new(x, y)) {
+                    Some(Cell::Free) => '.',
+                    Some(Cell::Obstacle) => '#',
+                    Some(Cell::Occupied(_)) => '*',
+                    None => '?',
+                };
+                write!(f, "{ch}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_zero_dims() {
+        assert!(Grid::new(0, 5).is_err());
+        assert!(Grid::new(5, 0).is_err());
+        assert!(Grid::new(5, 5).is_ok());
+    }
+
+    #[test]
+    fn new_rejects_huge_dims() {
+        assert!(Grid::new(1 << 20, 4).is_err());
+    }
+
+    #[test]
+    fn index_point_roundtrip() {
+        let g = Grid::new(7, 3).unwrap();
+        for idx in 0..g.len() {
+            let p = g.point_of(idx);
+            assert_eq!(g.index_of(p), Some(idx));
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_cells() {
+        let g = Grid::new(4, 4).unwrap();
+        assert_eq!(g.cell(Point::new(-1, 0)), None);
+        assert_eq!(g.cell(Point::new(4, 0)), None);
+        assert!(g.is_obstacle(Point::new(10, 10)));
+    }
+
+    #[test]
+    fn set_cell_errors_out_of_bounds() {
+        let mut g = Grid::new(4, 4).unwrap();
+        let err = g.set_cell(Point::new(9, 9), Cell::Free).unwrap_err();
+        assert!(matches!(err, GridError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn obstacle_rect_clips() {
+        let mut g = Grid::new(4, 4).unwrap();
+        g.set_obstacle_rect(Rect::from_corners(Point::new(2, 2), Point::new(9, 9)));
+        assert_eq!(g.obstacle_count(), 4); // (2,2) (3,2) (2,3) (3,3)
+    }
+
+    #[test]
+    fn boundary_count_matches_perimeter() {
+        let g = Grid::new(12, 12).unwrap();
+        // Perimeter of an n×m grid: 2n + 2m - 4.
+        assert_eq!(g.boundary_points().count(), 2 * 12 + 2 * 12 - 4);
+        for p in g.boundary_points() {
+            assert!(g.is_boundary(p));
+        }
+    }
+
+    #[test]
+    fn boundary_points_are_unique() {
+        let g = Grid::new(5, 7).unwrap();
+        let pts: Vec<_> = g.boundary_points().collect();
+        let mut sorted = pts.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), pts.len());
+    }
+
+    #[test]
+    fn boundary_of_tiny_grids() {
+        let g = Grid::new(1, 1).unwrap();
+        assert_eq!(g.boundary_points().count(), 1);
+        let g = Grid::new(2, 2).unwrap();
+        assert_eq!(g.boundary_points().count(), 4);
+    }
+
+    #[test]
+    fn neighbors_filtered_to_bounds() {
+        let g = Grid::new(3, 3).unwrap();
+        assert_eq!(g.neighbors(Point::new(0, 0)).count(), 2);
+        assert_eq!(g.neighbors(Point::new(1, 1)).count(), 4);
+    }
+
+    #[test]
+    fn clamp_pulls_inside() {
+        let g = Grid::new(10, 10).unwrap();
+        assert_eq!(g.clamp(Point::new(-5, 3)), Point::new(0, 3));
+        assert_eq!(g.clamp(Point::new(50, 50)), Point::new(9, 9));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let mut g = Grid::new(3, 2).unwrap();
+        g.set_obstacle(Point::new(1, 0));
+        let art = g.to_string();
+        assert_eq!(art.lines().count(), 2);
+        assert!(art.contains('#'));
+    }
+
+    #[test]
+    fn occupied_cells_not_routable() {
+        let mut g = Grid::new(3, 3).unwrap();
+        g.set_cell(Point::new(1, 1), Cell::Occupied(7)).unwrap();
+        assert!(!g.is_routable(Point::new(1, 1)));
+        assert!(!g.is_obstacle(Point::new(1, 1)));
+    }
+}

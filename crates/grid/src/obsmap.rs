@@ -1,0 +1,278 @@
+//! Transient obstacle map with checkpoint/rollback.
+//!
+//! Algorithm 1 of the paper constructs an `ObsMap` ("a two-dimensional
+//! array of boolean values") over the routing grid, marks routed paths as
+//! obstacles, and *resets* those flags when the negotiation iteration rips
+//! everything up. The rip-up & reroute loop of the overall flow needs the
+//! same mechanics, so the map records a journal of set bits that can be
+//! rolled back to a checkpoint in O(#changes).
+
+use crate::{Grid, Point};
+
+/// A boolean obstacle layer over a [`Grid`], with undo support.
+///
+/// Permanent obstacles from the grid are folded in at construction time;
+/// everything added afterwards is transient and can be rolled back.
+///
+/// # Examples
+///
+/// ```
+/// use pacor_grid::{Grid, ObsMap, Point};
+///
+/// let grid = Grid::new(8, 8)?;
+/// let mut obs = ObsMap::new(&grid);
+/// let cp = obs.checkpoint();
+/// obs.block(Point::new(2, 2));
+/// assert!(obs.is_blocked(Point::new(2, 2)));
+/// obs.rollback(cp);
+/// assert!(!obs.is_blocked(Point::new(2, 2)));
+/// # Ok::<(), pacor_grid::GridError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ObsMap {
+    width: u32,
+    height: u32,
+    blocked: Vec<bool>,
+    journal: Vec<usize>,
+}
+
+/// Opaque checkpoint token for [`ObsMap::rollback`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Checkpoint(usize);
+
+impl ObsMap {
+    /// Builds the map from a grid, copying its permanent obstacles and
+    /// occupied cells as blocked.
+    pub fn new(grid: &Grid) -> Self {
+        let blocked = (0..grid.len())
+            .map(|i| !grid.is_routable(grid.point_of(i)))
+            .collect();
+        Self {
+            width: grid.width(),
+            height: grid.height(),
+            blocked,
+            journal: Vec::new(),
+        }
+    }
+
+    /// Map width in cells.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Map height in cells.
+    #[inline]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    #[inline]
+    fn index_of(&self, p: Point) -> Option<usize> {
+        if p.x >= 0 && p.y >= 0 && (p.x as u32) < self.width && (p.y as u32) < self.height {
+            Some(p.y as usize * self.width as usize + p.x as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Returns `true` when `p` is blocked (out-of-bounds counts as blocked).
+    #[inline]
+    pub fn is_blocked(&self, p: Point) -> bool {
+        match self.index_of(p) {
+            Some(i) => self.blocked[i],
+            None => true,
+        }
+    }
+
+    /// Blocks `p` transiently; records the change for rollback. Blocking an
+    /// already-blocked cell is a no-op that records nothing.
+    pub fn block(&mut self, p: Point) {
+        if let Some(i) = self.index_of(p) {
+            if !self.blocked[i] {
+                self.blocked[i] = true;
+                self.journal.push(i);
+            }
+        }
+    }
+
+    /// Blocks every cell of `path`.
+    pub fn block_all<I: IntoIterator<Item = Point>>(&mut self, path: I) {
+        for p in path {
+            self.block(p);
+        }
+    }
+
+    /// Removes a transient block from `p` (rip-up of a routed path cell).
+    /// Permanent obstacles inherited from the grid cannot be unblocked —
+    /// only cells blocked through [`ObsMap::block`] after construction.
+    ///
+    /// Any journal entry for `p` is purged, so outstanding checkpoints
+    /// remain valid; do not interleave with a checkpoint you still intend
+    /// to roll back *past this cell* (the rollback will simply skip it).
+    pub fn unblock(&mut self, p: Point) {
+        if let Some(i) = self.index_of(p) {
+            if let Some(pos) = self.journal.iter().position(|&j| j == i) {
+                self.journal.remove(pos);
+                self.blocked[i] = false;
+            }
+        }
+    }
+
+    /// Unblocks every cell of `path`.
+    pub fn unblock_all<I: IntoIterator<Item = Point>>(&mut self, path: I) {
+        for p in path {
+            self.unblock(p);
+        }
+    }
+
+    /// Takes a checkpoint of the current transient state.
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint(self.journal.len())
+    }
+
+    /// Rolls back every transient block recorded after `cp`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cp` comes from a different map "timeline" (i.e. the
+    /// journal is already shorter than the checkpoint).
+    pub fn rollback(&mut self, cp: Checkpoint) {
+        assert!(
+            cp.0 <= self.journal.len(),
+            "checkpoint {0} beyond journal length {1}",
+            cp.0,
+            self.journal.len()
+        );
+        while self.journal.len() > cp.0 {
+            let i = self.journal.pop().expect("journal nonempty");
+            self.blocked[i] = false;
+        }
+    }
+
+    /// Clears *all* transient blocks, keeping the permanent ones.
+    pub fn reset(&mut self) {
+        self.rollback(Checkpoint(0));
+    }
+
+    /// Number of blocked cells (permanent + transient).
+    pub fn blocked_count(&self) -> usize {
+        self.blocked.iter().filter(|b| **b).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Cell;
+
+    fn grid_with_obstacle() -> Grid {
+        let mut g = Grid::new(6, 6).unwrap();
+        g.set_obstacle(Point::new(0, 0));
+        g.set_cell(Point::new(5, 5), Cell::Occupied(1)).unwrap();
+        g
+    }
+
+    #[test]
+    fn inherits_permanent_obstacles() {
+        let obs = ObsMap::new(&grid_with_obstacle());
+        assert!(obs.is_blocked(Point::new(0, 0)));
+        assert!(obs.is_blocked(Point::new(5, 5)));
+        assert!(!obs.is_blocked(Point::new(3, 3)));
+        assert_eq!(obs.blocked_count(), 2);
+    }
+
+    #[test]
+    fn out_of_bounds_is_blocked() {
+        let obs = ObsMap::new(&Grid::new(4, 4).unwrap());
+        assert!(obs.is_blocked(Point::new(-1, 2)));
+        assert!(obs.is_blocked(Point::new(4, 2)));
+    }
+
+    #[test]
+    fn block_and_rollback() {
+        let mut obs = ObsMap::new(&Grid::new(4, 4).unwrap());
+        let cp = obs.checkpoint();
+        obs.block_all([Point::new(1, 1), Point::new(2, 1), Point::new(3, 1)]);
+        assert_eq!(obs.blocked_count(), 3);
+        obs.rollback(cp);
+        assert_eq!(obs.blocked_count(), 0);
+    }
+
+    #[test]
+    fn nested_checkpoints() {
+        let mut obs = ObsMap::new(&Grid::new(4, 4).unwrap());
+        obs.block(Point::new(0, 0));
+        let cp1 = obs.checkpoint();
+        obs.block(Point::new(1, 0));
+        let cp2 = obs.checkpoint();
+        obs.block(Point::new(2, 0));
+        obs.rollback(cp2);
+        assert!(obs.is_blocked(Point::new(1, 0)));
+        assert!(!obs.is_blocked(Point::new(2, 0)));
+        obs.rollback(cp1);
+        assert!(obs.is_blocked(Point::new(0, 0)));
+        assert!(!obs.is_blocked(Point::new(1, 0)));
+    }
+
+    #[test]
+    fn double_block_rolls_back_once() {
+        let mut obs = ObsMap::new(&Grid::new(4, 4).unwrap());
+        let cp = obs.checkpoint();
+        obs.block(Point::new(2, 2));
+        obs.block(Point::new(2, 2));
+        obs.rollback(cp);
+        assert!(!obs.is_blocked(Point::new(2, 2)));
+    }
+
+    #[test]
+    fn reset_keeps_permanent() {
+        let mut obs = ObsMap::new(&grid_with_obstacle());
+        obs.block(Point::new(3, 3));
+        obs.reset();
+        assert!(obs.is_blocked(Point::new(0, 0)));
+        assert!(!obs.is_blocked(Point::new(3, 3)));
+    }
+
+    #[test]
+    fn unblock_removes_transient_only() {
+        let mut obs = ObsMap::new(&grid_with_obstacle());
+        obs.block(Point::new(2, 2));
+        obs.unblock(Point::new(2, 2));
+        assert!(!obs.is_blocked(Point::new(2, 2)));
+        // Permanent obstacle survives unblock.
+        obs.unblock(Point::new(0, 0));
+        assert!(obs.is_blocked(Point::new(0, 0)));
+    }
+
+    #[test]
+    fn unblock_all_rips_up_a_path() {
+        let mut obs = ObsMap::new(&Grid::new(6, 6).unwrap());
+        let path = [Point::new(1, 1), Point::new(2, 1), Point::new(3, 1)];
+        obs.block_all(path);
+        assert_eq!(obs.blocked_count(), 3);
+        obs.unblock_all(path);
+        assert_eq!(obs.blocked_count(), 0);
+    }
+
+    #[test]
+    fn unblock_keeps_checkpoints_usable() {
+        let mut obs = ObsMap::new(&Grid::new(6, 6).unwrap());
+        obs.block(Point::new(1, 1));
+        let cp = obs.checkpoint(); // journal length 1
+        obs.block(Point::new(2, 2));
+        obs.unblock(Point::new(1, 1)); // purge pre-checkpoint entry
+        obs.rollback(cp); // must not panic; rolls back as far as possible
+        assert!(!obs.is_blocked(Point::new(1, 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond journal length")]
+    fn rollback_past_journal_panics() {
+        let mut obs = ObsMap::new(&Grid::new(4, 4).unwrap());
+        obs.block(Point::new(1, 1));
+        let cp = obs.checkpoint();
+        obs.reset();
+        obs.rollback(cp);
+    }
+}

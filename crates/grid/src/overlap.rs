@@ -1,0 +1,95 @@
+//! Bounding-box overlap cost between Steiner tree edges — Eq. (4).
+
+use crate::{Point, Rect};
+
+/// Bounding box of a (two-pin) tree edge given its endpoints.
+///
+/// In the candidate-selection stage the Steiner tree is still an abstract
+/// topology (not yet routed), so edge geometry is approximated by the
+/// bounding box of its endpoints, exactly as Eq. (4) prescribes via
+/// `bb(e)`.
+pub fn bbox_of_edge(a: Point, b: Point) -> Rect {
+    Rect::from_corners(a, b)
+}
+
+/// Overlap cost between two edges per Eq. (4) of the paper:
+///
+/// ```text
+/// olcost(el, em) = area(overlap(bb(el), bb(em))) / min(area(bb(el)), area(bb(em)))
+/// ```
+///
+/// The result lies in `[0, 1]`: 0 when the bounding boxes are disjoint and
+/// 1 when the smaller box is fully contained in the overlap.
+///
+/// # Examples
+///
+/// ```
+/// use pacor_grid::{olcost, Point};
+///
+/// // Identical edges overlap completely.
+/// let c = olcost(
+///     (Point::new(0, 0), Point::new(3, 3)),
+///     (Point::new(0, 0), Point::new(3, 3)),
+/// );
+/// assert!((c - 1.0).abs() < 1e-12);
+/// ```
+pub fn olcost(el: (Point, Point), em: (Point, Point)) -> f64 {
+    let b1 = bbox_of_edge(el.0, el.1);
+    let b2 = bbox_of_edge(em.0, em.1);
+    match b1.intersect(&b2) {
+        Some(i) => i.area() as f64 / b1.area().min(b2.area()) as f64,
+        None => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_edges_cost_zero() {
+        let c = olcost(
+            (Point::new(0, 0), Point::new(1, 1)),
+            (Point::new(5, 5), Point::new(8, 8)),
+        );
+        assert_eq!(c, 0.0);
+    }
+
+    #[test]
+    fn contained_edge_costs_one() {
+        // Small edge inside a big edge's bbox.
+        let c = olcost(
+            (Point::new(2, 2), Point::new(3, 3)),
+            (Point::new(0, 0), Point::new(9, 9)),
+        );
+        assert!((c - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_overlap_in_unit_interval() {
+        let c = olcost(
+            (Point::new(0, 0), Point::new(4, 4)),
+            (Point::new(3, 3), Point::new(7, 7)),
+        );
+        assert!(c > 0.0 && c < 1.0);
+        // overlap is 2x2 = 4 cells; both boxes are 25 cells.
+        assert!((c - 4.0 / 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric() {
+        let e1 = (Point::new(0, 0), Point::new(5, 2));
+        let e2 = (Point::new(2, 1), Point::new(9, 9));
+        assert_eq!(olcost(e1, e2), olcost(e2, e1));
+    }
+
+    #[test]
+    fn degenerate_point_edges() {
+        // Two identical point edges: overlap area 1, min area 1.
+        let e = (Point::new(4, 4), Point::new(4, 4));
+        assert_eq!(olcost(e, e), 1.0);
+        // Distinct point edges: disjoint.
+        let f = (Point::new(5, 4), Point::new(5, 4));
+        assert_eq!(olcost(e, f), 0.0);
+    }
+}

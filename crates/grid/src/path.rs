@@ -1,0 +1,327 @@
+//! Routed paths on the grid.
+
+use crate::{GridError, GridLen, Point, Rect};
+use serde::{Deserialize, Serialize};
+
+/// A routed control-channel segment: a connected sequence of grid cells.
+///
+/// The channel *length* is the number of edges traversed
+/// (`cells - 1`), matching the paper's grid-unit length accounting.
+///
+/// # Examples
+///
+/// ```
+/// use pacor_grid::{GridPath, Point};
+///
+/// let p = GridPath::new(vec![
+///     Point::new(0, 0),
+///     Point::new(1, 0),
+///     Point::new(1, 1),
+/// ])?;
+/// assert_eq!(p.len(), 2);
+/// assert_eq!(p.source(), Point::new(0, 0));
+/// assert_eq!(p.target(), Point::new(1, 1));
+/// # Ok::<(), pacor_grid::GridError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GridPath {
+    cells: Vec<Point>,
+}
+
+impl GridPath {
+    /// Creates a path from a cell sequence, validating connectivity.
+    ///
+    /// A path may legitimately revisit a cell: the minimum-length bounded
+    /// router (Section 6) produces detours that wind back and forth; only
+    /// *adjacency* of consecutive cells is required.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::DisconnectedPath`] when two consecutive cells
+    /// are not 4-neighbors, and [`GridError::InvalidDimensions`] when the
+    /// sequence is empty.
+    pub fn new(cells: Vec<Point>) -> Result<Self, GridError> {
+        if cells.is_empty() {
+            return Err(GridError::InvalidDimensions {
+                width: 0,
+                height: 0,
+            });
+        }
+        for (i, w) in cells.windows(2).enumerate() {
+            if !w[0].is_adjacent(w[1]) {
+                return Err(GridError::DisconnectedPath { at: i });
+            }
+        }
+        Ok(Self { cells })
+    }
+
+    /// A zero-length path sitting on a single cell.
+    pub fn singleton(p: Point) -> Self {
+        Self { cells: vec![p] }
+    }
+
+    /// Channel length in grid units (edges traversed).
+    #[inline]
+    pub fn len(&self) -> GridLen {
+        (self.cells.len() - 1) as GridLen
+    }
+
+    /// Returns `true` when the path is a single cell (zero length).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.cells.len() == 1
+    }
+
+    /// First cell.
+    #[inline]
+    pub fn source(&self) -> Point {
+        self.cells[0]
+    }
+
+    /// Last cell.
+    #[inline]
+    pub fn target(&self) -> Point {
+        *self.cells.last().expect("path is never empty")
+    }
+
+    /// The cell sequence.
+    #[inline]
+    pub fn cells(&self) -> &[Point] {
+        &self.cells
+    }
+
+    /// Iterates over the cells.
+    pub fn iter(&self) -> std::slice::Iter<'_, Point> {
+        self.cells.iter()
+    }
+
+    /// Reverses the path in place (swap source/target).
+    pub fn reverse(&mut self) {
+        self.cells.reverse();
+    }
+
+    /// Returns the reversed path.
+    pub fn to_reversed(&self) -> GridPath {
+        let mut cells = self.cells.clone();
+        cells.reverse();
+        GridPath { cells }
+    }
+
+    /// Bounding box of all cells.
+    pub fn bbox(&self) -> Rect {
+        let mut r = Rect::from_point(self.cells[0]);
+        for &p in &self.cells[1..] {
+            r = r.union(&Rect::from_point(p));
+        }
+        r
+    }
+
+    /// Returns `true` when `p` lies on the path.
+    pub fn contains(&self, p: Point) -> bool {
+        self.cells.contains(&p)
+    }
+
+    /// The cell at the middle of the path (used as the escape-routing
+    /// source for two-valve length-matching clusters, Section 5 case (2)).
+    pub fn midpoint(&self) -> Point {
+        self.cells[self.cells.len() / 2]
+    }
+
+    /// The corner points of the path: endpoints plus every cell where the
+    /// direction changes. Rendering a path as a polyline through its
+    /// corners is loss-free and far more compact than per-cell points.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pacor_grid::{GridPath, Point};
+    ///
+    /// let p = GridPath::new(vec![
+    ///     Point::new(0, 0),
+    ///     Point::new(1, 0),
+    ///     Point::new(2, 0),
+    ///     Point::new(2, 1),
+    /// ])?;
+    /// assert_eq!(p.corners(), vec![
+    ///     Point::new(0, 0),
+    ///     Point::new(2, 0),
+    ///     Point::new(2, 1),
+    /// ]);
+    /// # Ok::<(), pacor_grid::GridError>(())
+    /// ```
+    pub fn corners(&self) -> Vec<Point> {
+        if self.cells.len() <= 2 {
+            return self.cells.clone();
+        }
+        let mut out = vec![self.cells[0]];
+        for w in self.cells.windows(3) {
+            let d1 = (w[1].x - w[0].x, w[1].y - w[0].y);
+            let d2 = (w[2].x - w[1].x, w[2].y - w[1].y);
+            if d1 != d2 {
+                out.push(w[1]);
+            }
+        }
+        out.push(*self.cells.last().expect("nonempty"));
+        out
+    }
+
+    /// Concatenates `other` onto `self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::DisconnectedPath`] when `other.source()` is
+    /// neither equal nor adjacent to `self.target()`.
+    pub fn join(&self, other: &GridPath) -> Result<GridPath, GridError> {
+        let mut cells = self.cells.clone();
+        if self.target() == other.source() {
+            cells.extend_from_slice(&other.cells[1..]);
+        } else if self.target().is_adjacent(other.source()) {
+            cells.extend_from_slice(&other.cells);
+        } else {
+            return Err(GridError::DisconnectedPath {
+                at: self.cells.len() - 1,
+            });
+        }
+        GridPath::new(cells)
+    }
+}
+
+impl<'a> IntoIterator for &'a GridPath {
+    type Item = &'a Point;
+    type IntoIter = std::slice::Iter<'a, Point>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.cells.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l_path() -> GridPath {
+        GridPath::new(vec![
+            Point::new(0, 0),
+            Point::new(1, 0),
+            Point::new(2, 0),
+            Point::new(2, 1),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(GridPath::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn rejects_disconnected() {
+        let err = GridPath::new(vec![Point::new(0, 0), Point::new(2, 0)]).unwrap_err();
+        assert!(matches!(err, GridError::DisconnectedPath { at: 0 }));
+    }
+
+    #[test]
+    fn allows_revisits() {
+        // A back-and-forth detour: 0→1→0 revisits (0,0) and is valid.
+        let p = GridPath::new(vec![Point::new(0, 0), Point::new(1, 0), Point::new(0, 0)]).unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn length_and_endpoints() {
+        let p = l_path();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.source(), Point::new(0, 0));
+        assert_eq!(p.target(), Point::new(2, 1));
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn singleton_has_zero_length() {
+        let p = GridPath::singleton(Point::new(3, 3));
+        assert_eq!(p.len(), 0);
+        assert!(p.is_empty());
+        assert_eq!(p.source(), p.target());
+    }
+
+    #[test]
+    fn bbox_covers_cells() {
+        let p = l_path();
+        let bb = p.bbox();
+        for c in p.iter() {
+            assert!(bb.contains(*c));
+        }
+        assert_eq!(bb.area(), 6);
+    }
+
+    #[test]
+    fn midpoint_on_path() {
+        let p = l_path();
+        assert!(p.contains(p.midpoint()));
+    }
+
+    #[test]
+    fn join_shared_endpoint() {
+        let a = GridPath::new(vec![Point::new(0, 0), Point::new(1, 0)]).unwrap();
+        let b = GridPath::new(vec![Point::new(1, 0), Point::new(1, 1)]).unwrap();
+        let j = a.join(&b).unwrap();
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.cells().len(), 3);
+    }
+
+    #[test]
+    fn join_adjacent_endpoint() {
+        let a = GridPath::singleton(Point::new(0, 0));
+        let b = GridPath::singleton(Point::new(1, 0));
+        let j = a.join(&b).unwrap();
+        assert_eq!(j.len(), 1);
+    }
+
+    #[test]
+    fn join_disjoint_fails() {
+        let a = GridPath::singleton(Point::new(0, 0));
+        let b = GridPath::singleton(Point::new(5, 5));
+        assert!(a.join(&b).is_err());
+    }
+
+    #[test]
+    fn corners_of_l_path() {
+        let p = l_path();
+        assert_eq!(
+            p.corners(),
+            vec![Point::new(0, 0), Point::new(2, 0), Point::new(2, 1)]
+        );
+    }
+
+    #[test]
+    fn corners_of_straight_and_tiny_paths() {
+        let straight = GridPath::new((0..5).map(|x| Point::new(x, 3)).collect()).unwrap();
+        assert_eq!(straight.corners(), vec![Point::new(0, 3), Point::new(4, 3)]);
+        let single = GridPath::singleton(Point::new(2, 2));
+        assert_eq!(single.corners(), vec![Point::new(2, 2)]);
+        let pair = GridPath::new(vec![Point::new(0, 0), Point::new(0, 1)]).unwrap();
+        assert_eq!(pair.corners().len(), 2);
+    }
+
+    #[test]
+    fn corners_capture_zigzag() {
+        let z = GridPath::new(vec![
+            Point::new(0, 0),
+            Point::new(1, 0),
+            Point::new(1, 1),
+            Point::new(2, 1),
+            Point::new(2, 2),
+        ])
+        .unwrap();
+        assert_eq!(z.corners().len(), 5); // every interior cell is a turn
+    }
+
+    #[test]
+    fn reverse_roundtrip() {
+        let p = l_path();
+        let r = p.to_reversed();
+        assert_eq!(r.source(), p.target());
+        assert_eq!(r.target(), p.source());
+        assert_eq!(r.to_reversed(), p);
+    }
+}

@@ -1,0 +1,189 @@
+//! Axis-aligned rectangles (bounding boxes).
+
+use crate::Point;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An axis-aligned, inclusive rectangle of grid cells.
+///
+/// `Rect` is used for edge bounding boxes in the overlap cost of Eq. (4)
+/// and for obstacle regions. Both corners are inclusive, so a rectangle
+/// degenerate to a single point has area 1.
+///
+/// # Examples
+///
+/// ```
+/// use pacor_grid::{Point, Rect};
+///
+/// let r = Rect::from_corners(Point::new(2, 5), Point::new(0, 1));
+/// assert_eq!(r.min(), Point::new(0, 1));
+/// assert_eq!(r.max(), Point::new(2, 5));
+/// assert_eq!(r.area(), 15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Rect {
+    min: Point,
+    max: Point,
+}
+
+impl Rect {
+    /// Creates the bounding rectangle of two (unordered) corner points.
+    pub fn from_corners(a: Point, b: Point) -> Self {
+        Self {
+            min: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// The rectangle covering exactly one cell.
+    pub fn from_point(p: Point) -> Self {
+        Self { min: p, max: p }
+    }
+
+    /// Lower-left (minimum) corner.
+    #[inline]
+    pub fn min(&self) -> Point {
+        self.min
+    }
+
+    /// Upper-right (maximum) corner.
+    #[inline]
+    pub fn max(&self) -> Point {
+        self.max
+    }
+
+    /// Width in cells (inclusive of both edges).
+    #[inline]
+    pub fn width(&self) -> u64 {
+        (self.max.x as i64 - self.min.x as i64) as u64 + 1
+    }
+
+    /// Height in cells (inclusive of both edges).
+    #[inline]
+    pub fn height(&self) -> u64 {
+        (self.max.y as i64 - self.min.y as i64) as u64 + 1
+    }
+
+    /// Area in cells; never zero because corners are inclusive.
+    #[inline]
+    pub fn area(&self) -> u64 {
+        self.width() * self.height()
+    }
+
+    /// Returns `true` when `p` lies inside the rectangle (inclusive).
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Intersection of two rectangles, or `None` when they are disjoint.
+    pub fn intersect(&self, other: &Rect) -> Option<Rect> {
+        let min = Point::new(self.min.x.max(other.min.x), self.min.y.max(other.min.y));
+        let max = Point::new(self.max.x.min(other.max.x), self.max.y.min(other.max.y));
+        if min.x <= max.x && min.y <= max.y {
+            Some(Rect { min, max })
+        } else {
+            None
+        }
+    }
+
+    /// The smallest rectangle containing both `self` and `other`.
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            min: Point::new(self.min.x.min(other.min.x), self.min.y.min(other.min.y)),
+            max: Point::new(self.max.x.max(other.max.x), self.max.y.max(other.max.y)),
+        }
+    }
+
+    /// Grows the rectangle by `margin` cells on every side.
+    pub fn inflate(&self, margin: i32) -> Rect {
+        Rect::from_corners(
+            Point::new(self.min.x - margin, self.min.y - margin),
+            Point::new(self.max.x + margin, self.max.y + margin),
+        )
+    }
+
+    /// Iterates over every cell in the rectangle in row-major order.
+    pub fn cells(&self) -> impl Iterator<Item = Point> + '_ {
+        let (min, max) = (self.min, self.max);
+        (min.y..=max.y).flat_map(move |y| (min.x..=max.x).map(move |x| Point::new(x, y)))
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} .. {}]", self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corners_normalize() {
+        let r = Rect::from_corners(Point::new(5, 0), Point::new(1, 3));
+        assert_eq!(r.min(), Point::new(1, 0));
+        assert_eq!(r.max(), Point::new(5, 3));
+    }
+
+    #[test]
+    fn point_rect_has_area_one() {
+        let r = Rect::from_point(Point::new(2, 2));
+        assert_eq!(r.area(), 1);
+        assert!(r.contains(Point::new(2, 2)));
+        assert!(!r.contains(Point::new(2, 3)));
+    }
+
+    #[test]
+    fn intersection_overlapping() {
+        let a = Rect::from_corners(Point::new(0, 0), Point::new(4, 4));
+        let b = Rect::from_corners(Point::new(2, 2), Point::new(6, 6));
+        let i = a.intersect(&b).expect("rects overlap");
+        assert_eq!(i, Rect::from_corners(Point::new(2, 2), Point::new(4, 4)));
+        assert_eq!(i.area(), 9);
+    }
+
+    #[test]
+    fn intersection_touching_edges_counts() {
+        // Inclusive rectangles sharing a line of cells do intersect.
+        let a = Rect::from_corners(Point::new(0, 0), Point::new(2, 2));
+        let b = Rect::from_corners(Point::new(2, 0), Point::new(4, 2));
+        let i = a.intersect(&b).expect("shared column");
+        assert_eq!(i.area(), 3);
+    }
+
+    #[test]
+    fn intersection_disjoint() {
+        let a = Rect::from_corners(Point::new(0, 0), Point::new(1, 1));
+        let b = Rect::from_corners(Point::new(3, 3), Point::new(4, 4));
+        assert!(a.intersect(&b).is_none());
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = Rect::from_point(Point::new(0, 0));
+        let b = Rect::from_point(Point::new(3, -2));
+        let u = a.union(&b);
+        assert!(u.contains(Point::new(0, 0)));
+        assert!(u.contains(Point::new(3, -2)));
+        assert_eq!(u.area(), 12);
+    }
+
+    #[test]
+    fn inflate_grows_all_sides() {
+        let r = Rect::from_point(Point::new(0, 0)).inflate(2);
+        assert_eq!(r.min(), Point::new(-2, -2));
+        assert_eq!(r.max(), Point::new(2, 2));
+        assert_eq!(r.area(), 25);
+    }
+
+    #[test]
+    fn cells_enumerates_area() {
+        let r = Rect::from_corners(Point::new(0, 0), Point::new(2, 1));
+        let cells: Vec<_> = r.cells().collect();
+        assert_eq!(cells.len() as u64, r.area());
+        assert_eq!(cells[0], Point::new(0, 0));
+        assert_eq!(*cells.last().unwrap(), Point::new(2, 1));
+    }
+}

@@ -1,0 +1,156 @@
+//! Design rules: physical dimensions to routing-grid pitch.
+//!
+//! The paper partitions the chip into uniform routing grids "according to
+//! the minimum channel width and spacing design rule" (Section 4.1). One
+//! grid cell therefore represents a channel track of pitch
+//! `width + spacing`; routing on distinct cells automatically satisfies
+//! both rules.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Minimum channel width / spacing design rules, in micrometers.
+///
+/// # Examples
+///
+/// ```
+/// use pacor_grid::DesignRules;
+///
+/// let rules = DesignRules::new(10.0, 10.0)?;
+/// assert_eq!(rules.pitch_um(), 20.0);
+/// // A 2 mm chip edge yields 100 routing tracks.
+/// assert_eq!(rules.grid_cells(2000.0), 100);
+/// # Ok::<(), pacor_grid::GridError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DesignRules {
+    min_channel_width_um: f64,
+    min_channel_spacing_um: f64,
+}
+
+impl DesignRules {
+    /// Creates design rules from minimum channel width and spacing (μm).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::GridError::InvalidDimensions`] when either value is
+    /// non-positive or non-finite.
+    pub fn new(
+        min_channel_width_um: f64,
+        min_channel_spacing_um: f64,
+    ) -> Result<Self, crate::GridError> {
+        let valid = |v: f64| v.is_finite() && v > 0.0;
+        if !valid(min_channel_width_um) || !valid(min_channel_spacing_um) {
+            return Err(crate::GridError::InvalidDimensions {
+                width: 0,
+                height: 0,
+            });
+        }
+        Ok(Self {
+            min_channel_width_um,
+            min_channel_spacing_um,
+        })
+    }
+
+    /// Typical PDMS multilayer soft-lithography rules: 100 μm channels with
+    /// 100 μm spacing (Unger et al. scale devices; see paper Section 1).
+    pub fn typical_pdms() -> Self {
+        Self {
+            min_channel_width_um: 100.0,
+            min_channel_spacing_um: 100.0,
+        }
+    }
+
+    /// Minimum channel width (μm).
+    #[inline]
+    pub fn min_channel_width_um(&self) -> f64 {
+        self.min_channel_width_um
+    }
+
+    /// Minimum channel spacing (μm).
+    #[inline]
+    pub fn min_channel_spacing_um(&self) -> f64 {
+        self.min_channel_spacing_um
+    }
+
+    /// Routing pitch: one grid cell per `width + spacing` track.
+    #[inline]
+    pub fn pitch_um(&self) -> f64 {
+        self.min_channel_width_um + self.min_channel_spacing_um
+    }
+
+    /// Number of whole routing cells that fit in `extent_um` micrometers.
+    pub fn grid_cells(&self, extent_um: f64) -> u32 {
+        if extent_um <= 0.0 {
+            return 0;
+        }
+        (extent_um / self.pitch_um()).floor() as u32
+    }
+
+    /// Physical length (μm) of a routed channel of `grid_len` grid units.
+    pub fn physical_length_um(&self, grid_len: u64) -> f64 {
+        grid_len as f64 * self.pitch_um()
+    }
+}
+
+impl Default for DesignRules {
+    fn default() -> Self {
+        Self::typical_pdms()
+    }
+}
+
+impl fmt::Display for DesignRules {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "w≥{}μm s≥{}μm (pitch {}μm)",
+            self.min_channel_width_um,
+            self.min_channel_spacing_um,
+            self.pitch_um()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_nonpositive() {
+        assert!(DesignRules::new(0.0, 5.0).is_err());
+        assert!(DesignRules::new(5.0, -1.0).is_err());
+        assert!(DesignRules::new(f64::NAN, 5.0).is_err());
+        assert!(DesignRules::new(f64::INFINITY, 5.0).is_err());
+    }
+
+    #[test]
+    fn pitch_is_sum() {
+        let r = DesignRules::new(8.0, 12.0).unwrap();
+        assert_eq!(r.pitch_um(), 20.0);
+    }
+
+    #[test]
+    fn grid_cells_floor() {
+        let r = DesignRules::new(10.0, 10.0).unwrap();
+        assert_eq!(r.grid_cells(199.0), 9);
+        assert_eq!(r.grid_cells(200.0), 10);
+        assert_eq!(r.grid_cells(-5.0), 0);
+    }
+
+    #[test]
+    fn physical_length_roundtrip() {
+        let r = DesignRules::typical_pdms();
+        assert_eq!(r.physical_length_um(5), 1000.0);
+    }
+
+    #[test]
+    fn default_is_typical() {
+        assert_eq!(DesignRules::default(), DesignRules::typical_pdms());
+    }
+
+    #[test]
+    fn display_mentions_pitch() {
+        let s = DesignRules::typical_pdms().to_string();
+        assert!(s.contains("pitch 200"));
+    }
+}

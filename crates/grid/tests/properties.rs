@@ -1,0 +1,117 @@
+//! Property-based tests for the geometry substrate.
+
+use pacor_grid::{olcost, Grid, GridPath, ObsMap, Point, Rect};
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-200i32..200, -200i32..200).prop_map(|(x, y)| Point::new(x, y))
+}
+
+proptest! {
+    #[test]
+    fn manhattan_is_a_metric(a in arb_point(), b in arb_point(), c in arb_point()) {
+        // Identity of indiscernibles.
+        prop_assert_eq!(a.manhattan(b) == 0, a == b);
+        // Symmetry.
+        prop_assert_eq!(a.manhattan(b), b.manhattan(a));
+        // Triangle inequality.
+        prop_assert!(a.manhattan(c) <= a.manhattan(b) + b.manhattan(c));
+    }
+
+    #[test]
+    fn chebyshev_bounds_manhattan(a in arb_point(), b in arb_point()) {
+        let m = a.manhattan(b);
+        let ch = a.chebyshev(b);
+        prop_assert!(ch <= m);
+        prop_assert!(m <= 2 * ch);
+    }
+
+    #[test]
+    fn rect_intersection_is_contained(
+        a in arb_point(), b in arb_point(), c in arb_point(), d in arb_point()
+    ) {
+        let r1 = Rect::from_corners(a, b);
+        let r2 = Rect::from_corners(c, d);
+        if let Some(i) = r1.intersect(&r2) {
+            prop_assert!(i.area() <= r1.area());
+            prop_assert!(i.area() <= r2.area());
+            prop_assert!(i.contains(i.min()) && i.contains(i.max()));
+            prop_assert!(r1.contains(i.min()) && r2.contains(i.min()));
+        }
+    }
+
+    #[test]
+    fn rect_union_contains_both(a in arb_point(), b in arb_point(), c in arb_point(), d in arb_point()) {
+        let r1 = Rect::from_corners(a, b);
+        let r2 = Rect::from_corners(c, d);
+        let u = r1.union(&r2);
+        prop_assert!(u.contains(r1.min()) && u.contains(r1.max()));
+        prop_assert!(u.contains(r2.min()) && u.contains(r2.max()));
+        prop_assert!(u.area() >= r1.area().max(r2.area()));
+    }
+
+    #[test]
+    fn olcost_in_unit_interval(
+        a in arb_point(), b in arb_point(), c in arb_point(), d in arb_point()
+    ) {
+        let cost = olcost((a, b), (c, d));
+        prop_assert!((0.0..=1.0).contains(&cost));
+        // Symmetry.
+        prop_assert_eq!(cost, olcost((c, d), (a, b)));
+    }
+
+    #[test]
+    fn olcost_self_is_one(a in arb_point(), b in arb_point()) {
+        prop_assert!((olcost((a, b), (a, b)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_index_roundtrip(w in 1u32..64, h in 1u32..64) {
+        let g = Grid::new(w, h).unwrap();
+        for idx in 0..g.len() {
+            prop_assert_eq!(g.index_of(g.point_of(idx)), Some(idx));
+        }
+    }
+
+    #[test]
+    fn boundary_count_formula(w in 1u32..40, h in 1u32..40) {
+        let g = Grid::new(w, h).unwrap();
+        let expected = if w == 1 || h == 1 {
+            (w * h) as usize
+        } else {
+            (2 * w + 2 * h - 4) as usize
+        };
+        prop_assert_eq!(g.boundary_points().count(), expected);
+    }
+
+    #[test]
+    fn obsmap_rollback_restores(
+        cells in prop::collection::vec((0i32..16, 0i32..16), 0..40)
+    ) {
+        let g = Grid::new(16, 16).unwrap();
+        let mut obs = ObsMap::new(&g);
+        let before = obs.blocked_count();
+        let cp = obs.checkpoint();
+        obs.block_all(cells.iter().map(|&(x, y)| Point::new(x, y)));
+        obs.rollback(cp);
+        prop_assert_eq!(obs.blocked_count(), before);
+    }
+
+    #[test]
+    fn staircase_path_is_valid(steps in prop::collection::vec(0u8..4, 1..60)) {
+        // Random walk of unit steps is always a valid GridPath.
+        let mut cells = vec![Point::new(0, 0)];
+        for s in steps {
+            let last = *cells.last().unwrap();
+            cells.push(last.neighbors4()[s as usize % 4]);
+        }
+        let n = cells.len();
+        let p = GridPath::new(cells).unwrap();
+        prop_assert_eq!(p.len() as usize, n - 1);
+        prop_assert!(p.contains(p.midpoint()));
+        let bb = p.bbox();
+        for c in p.iter() {
+            prop_assert!(bb.contains(*c));
+        }
+    }
+}

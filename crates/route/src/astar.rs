@@ -1,0 +1,280 @@
+//! A\* search over the routing grid: point-to-point, point-to-path and
+//! path-to-path modes.
+
+use crate::HistoryCost;
+use pacor_grid::{GridPath, ObsMap, Point};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// Fixed-point scale for fractional history costs inside the integer A\*
+/// priority queue.
+const SCALE: u64 = 1024;
+
+/// A\* router over an [`ObsMap`].
+///
+/// The MST-based cluster routing of the paper uses "point-to-point,
+/// point-to-path, and path-to-path A\* search algorithms" — all are
+/// special cases of multi-source / multi-target search, provided here by
+/// [`AStar::route`]. Source and target cells are exempt from blockage
+/// (they usually lie on the net's own already-routed cells); all transit
+/// cells must be free.
+///
+/// An optional [`HistoryCost`] adds the negotiation penalty: entering
+/// cell `g` costs `1 + Ch(g)` instead of 1. Path *length* reported by the
+/// returned [`GridPath`] is always the plain edge count.
+#[derive(Debug, Clone, Copy)]
+pub struct AStar<'a> {
+    obs: &'a ObsMap,
+    history: Option<&'a HistoryCost>,
+}
+
+impl<'a> AStar<'a> {
+    /// Creates a router without history costs.
+    pub fn new(obs: &'a ObsMap) -> Self {
+        Self { obs, history: None }
+    }
+
+    /// Attaches negotiation history costs.
+    pub fn with_history(obs: &'a ObsMap, history: &'a HistoryCost) -> Self {
+        Self {
+            obs,
+            history: Some(history),
+        }
+    }
+
+    #[inline]
+    fn step_cost(&self, p: Point) -> u64 {
+        match self.history {
+            Some(h) => SCALE + (h.cost(p) * SCALE as f64).round() as u64,
+            None => SCALE,
+        }
+    }
+
+    /// Routes from any cell of `sources` to any cell of `targets`,
+    /// minimizing total (history-weighted) cost. Returns `None` when no
+    /// path exists.
+    ///
+    /// The returned path starts on a source cell and ends on a target
+    /// cell. When a source *is* a target, the result is that single cell.
+    pub fn route(&self, sources: &[Point], targets: &[Point]) -> Option<GridPath> {
+        if sources.is_empty() || targets.is_empty() {
+            return None;
+        }
+        let target_set: HashSet<Point> = targets.iter().copied().collect();
+        for &s in sources {
+            if target_set.contains(&s) {
+                return Some(GridPath::singleton(s));
+            }
+        }
+
+        let h = |p: Point| -> u64 {
+            // Admissible: cheapest conceivable remaining cost is one SCALE
+            // per grid step of the nearest target.
+            targets
+                .iter()
+                .map(|&t| p.manhattan(t))
+                .min()
+                .unwrap_or(0)
+                * SCALE
+        };
+
+        let mut dist: HashMap<Point, u64> = HashMap::new();
+        let mut prev: HashMap<Point, Point> = HashMap::new();
+        let mut heap: BinaryHeap<Reverse<(u64, u64, Point)>> = BinaryHeap::new();
+        for &s in sources {
+            dist.insert(s, 0);
+            heap.push(Reverse((h(s), 0, s)));
+        }
+
+        while let Some(Reverse((_, g, p))) = heap.pop() {
+            if dist.get(&p).copied().unwrap_or(u64::MAX) < g {
+                continue;
+            }
+            if target_set.contains(&p) {
+                // Reconstruct.
+                let mut cells = vec![p];
+                let mut cur = p;
+                while let Some(&q) = prev.get(&cur) {
+                    cells.push(q);
+                    cur = q;
+                }
+                cells.reverse();
+                return Some(GridPath::new(cells).expect("A* path is connected"));
+            }
+            for q in p.neighbors4() {
+                // Transit must be free; targets are exempt from blockage.
+                if self.obs.is_blocked(q) && !target_set.contains(&q) {
+                    continue;
+                }
+                let ng = g + self.step_cost(q);
+                if ng < dist.get(&q).copied().unwrap_or(u64::MAX) {
+                    dist.insert(q, ng);
+                    prev.insert(q, p);
+                    heap.push(Reverse((ng + h(q), ng, q)));
+                }
+            }
+        }
+        None
+    }
+
+    /// Point-to-point routing.
+    pub fn point_to_point(&self, source: Point, target: Point) -> Option<GridPath> {
+        self.route(&[source], &[target])
+    }
+
+    /// Point-to-path routing: connect `source` to the nearest cell of an
+    /// existing path.
+    pub fn point_to_path(&self, source: Point, path: &GridPath) -> Option<GridPath> {
+        self.route(&[source], path.cells())
+    }
+
+    /// Path-to-path routing: connect two existing paths by the cheapest
+    /// bridge.
+    pub fn path_to_path(&self, a: &GridPath, b: &GridPath) -> Option<GridPath> {
+        self.route(a.cells(), b.cells())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pacor_grid::Grid;
+
+    fn open(w: u32, h: u32) -> ObsMap {
+        ObsMap::new(&Grid::new(w, h).unwrap())
+    }
+
+    #[test]
+    fn straight_line_is_manhattan_optimal() {
+        let obs = open(10, 10);
+        let p = AStar::new(&obs)
+            .point_to_point(Point::new(1, 1), Point::new(7, 4))
+            .unwrap();
+        assert_eq!(p.len(), 9);
+        assert_eq!(p.source(), Point::new(1, 1));
+        assert_eq!(p.target(), Point::new(7, 4));
+    }
+
+    #[test]
+    fn detours_around_wall() {
+        let mut g = Grid::new(9, 9).unwrap();
+        for y in 0..8 {
+            g.set_obstacle(Point::new(4, y));
+        }
+        let obs = ObsMap::new(&g);
+        let p = AStar::new(&obs)
+            .point_to_point(Point::new(1, 1), Point::new(7, 1))
+            .unwrap();
+        assert!(p.len() > 6);
+        for c in p.iter() {
+            assert!(!obs.is_blocked(*c));
+        }
+    }
+
+    #[test]
+    fn fully_walled_is_unroutable() {
+        let mut g = Grid::new(9, 9).unwrap();
+        for y in 0..9 {
+            g.set_obstacle(Point::new(4, y));
+        }
+        let obs = ObsMap::new(&g);
+        assert!(AStar::new(&obs)
+            .point_to_point(Point::new(1, 1), Point::new(7, 1))
+            .is_none());
+    }
+
+    #[test]
+    fn source_equals_target() {
+        let obs = open(5, 5);
+        let p = AStar::new(&obs)
+            .point_to_point(Point::new(2, 2), Point::new(2, 2))
+            .unwrap();
+        assert_eq!(p.len(), 0);
+    }
+
+    #[test]
+    fn empty_terminals_return_none() {
+        let obs = open(5, 5);
+        let astar = AStar::new(&obs);
+        assert!(astar.route(&[], &[Point::new(0, 0)]).is_none());
+        assert!(astar.route(&[Point::new(0, 0)], &[]).is_none());
+    }
+
+    #[test]
+    fn point_to_path_hits_nearest_cell() {
+        let obs = open(12, 12);
+        let path = GridPath::new((0..10).map(|x| Point::new(x, 8)).collect()).unwrap();
+        let p = AStar::new(&obs)
+            .point_to_path(Point::new(3, 2), &path)
+            .unwrap();
+        assert_eq!(p.target(), Point::new(3, 8));
+        assert_eq!(p.len(), 6);
+    }
+
+    #[test]
+    fn path_to_path_bridges_shortest_gap() {
+        let obs = open(12, 12);
+        let a = GridPath::new((0..5).map(|x| Point::new(x, 1)).collect()).unwrap();
+        let b = GridPath::new((0..5).map(|x| Point::new(x, 9)).collect()).unwrap();
+        let p = AStar::new(&obs).path_to_path(&a, &b).unwrap();
+        assert_eq!(p.len(), 8);
+        assert!(a.contains(p.source()));
+        assert!(b.contains(p.target()));
+    }
+
+    #[test]
+    fn blocked_targets_are_reachable_endpoints() {
+        // Target on an occupied cell (its own net) must still terminate.
+        let mut g = Grid::new(7, 7).unwrap();
+        g.set_obstacle(Point::new(5, 5));
+        let obs = ObsMap::new(&g);
+        let p = AStar::new(&obs)
+            .point_to_point(Point::new(1, 1), Point::new(5, 5))
+            .unwrap();
+        assert_eq!(p.target(), Point::new(5, 5));
+        assert_eq!(p.len(), 8);
+    }
+
+    #[test]
+    fn history_cost_diverts_route() {
+        // Two equal-length corridors; poison one with history.
+        let mut g = Grid::new(7, 5).unwrap();
+        for x in 1..6 {
+            g.set_obstacle(Point::new(x, 2)); // wall between rows 1 and 3
+        }
+        let obs = ObsMap::new(&g);
+        let mut hist = HistoryCost::new(7, 5);
+        // Poison row 1 (the y=1 corridor).
+        for x in 0..7 {
+            for _ in 0..5 {
+                hist.bump(Point::new(x, 1));
+            }
+        }
+        let astar = AStar::with_history(&obs, &hist);
+        // From (0,2)?? blocked col... route from (0,1)..(6,1) area: choose
+        // endpoints reachable via both corridors: (0,0) to (6,4) forces a
+        // corridor choice at x=0 or x=6.
+        let p = astar.point_to_point(Point::new(0, 0), Point::new(6, 4)).unwrap();
+        // The route must dodge the poisoned row-1 interior when possible;
+        // count poisoned-row cells used.
+        let row1 = p.iter().filter(|c| c.y == 1).count();
+        let p_plain = AStar::new(&obs)
+            .point_to_point(Point::new(0, 0), Point::new(6, 4))
+            .unwrap();
+        assert_eq!(p.len(), p_plain.len()); // same geometric length exists
+        assert!(row1 <= 1, "history should steer away from row 1, used {row1} cells");
+    }
+
+    #[test]
+    fn multi_source_picks_closest() {
+        let obs = open(10, 10);
+        let p = AStar::new(&obs)
+            .route(
+                &[Point::new(0, 0), Point::new(8, 8)],
+                &[Point::new(9, 9)],
+            )
+            .unwrap();
+        assert_eq!(p.source(), Point::new(8, 8));
+        assert_eq!(p.len(), 2);
+    }
+}

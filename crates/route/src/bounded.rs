@@ -1,0 +1,319 @@
+//! Minimum-length *bounded* routing — Section 6 of the paper.
+//!
+//! Detouring for length matching needs a router that computes "a path
+//! with length not less than the target length `Lt`". The paper modifies
+//! A\* so that the G value may only *increase* and F penalizes estimated
+//! totals below the bound. This module implements the same contract with
+//! a complete search: for each feasible length `L ≥ Lt` (respecting grid
+//! parity) it runs a depth-first search for a self-avoiding path of
+//! *exactly* length `L`, pruned by the Manhattan-distance reachability
+//! bound and a node budget. The first `L` that succeeds is minimal above
+//! the bound, which is exactly the paper's objective.
+//!
+//! Self-avoidance matters: a control channel may not overlap itself
+//! without violating the minimum-spacing design rule, so revisiting a
+//! cell is forbidden (the plain A\* of the paper implicitly guarantees
+//! this only for shortest paths).
+
+use pacor_grid::{GridLen, GridPath, ObsMap, Point};
+
+/// Minimum-length bounded router.
+///
+/// # Examples
+///
+/// ```
+/// use pacor_grid::{Grid, ObsMap, Point};
+/// use pacor_route::BoundedAStar;
+///
+/// let grid = Grid::new(10, 10)?;
+/// let obs = ObsMap::new(&grid);
+/// let router = BoundedAStar::new(&obs);
+/// // Straight distance is 4; ask for at least 8.
+/// let path = router
+///     .route_at_least(Point::new(1, 1), Point::new(5, 1), 8)
+///     .expect("open grid has room to wiggle");
+/// assert_eq!(path.len(), 8);
+/// # Ok::<(), pacor_grid::GridError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct BoundedAStar<'a> {
+    obs: &'a ObsMap,
+    /// DFS node budget per exact-length attempt.
+    node_budget: u64,
+    /// How far above the bound to keep trying before giving up.
+    max_overshoot: GridLen,
+}
+
+impl<'a> BoundedAStar<'a> {
+    /// Creates a bounded router with default budgets (200 000 DFS nodes
+    /// per length, overshoot window of 64 grid units).
+    pub fn new(obs: &'a ObsMap) -> Self {
+        Self {
+            obs,
+            node_budget: 200_000,
+            max_overshoot: 64,
+        }
+    }
+
+    /// Overrides the per-length DFS node budget.
+    pub fn with_node_budget(mut self, budget: u64) -> Self {
+        self.node_budget = budget;
+        self
+    }
+
+    /// Overrides the overshoot window: lengths in
+    /// `[lt, lt + max_overshoot]` are attempted.
+    pub fn with_max_overshoot(mut self, overshoot: GridLen) -> Self {
+        self.max_overshoot = overshoot;
+        self
+    }
+
+    /// Finds a self-avoiding obstacle-free path from `source` to `target`
+    /// of length ≥ `lt`, as short above `lt` as possible. Endpoint cells
+    /// are exempt from blockage (they sit on the net being detoured).
+    ///
+    /// Returns `None` when no such path exists within the overshoot
+    /// window and node budget.
+    pub fn route_at_least(
+        &self,
+        source: Point,
+        target: Point,
+        lt: GridLen,
+    ) -> Option<GridPath> {
+        let d = source.manhattan(target);
+        // Grid parity: any path length ≡ d (mod 2).
+        let mut len = lt.max(d);
+        if (len - d) % 2 == 1 {
+            len += 1;
+        }
+        let limit = lt + self.max_overshoot;
+        while len <= limit {
+            if let Some(path) = self.route_exact(source, target, len) {
+                return Some(path);
+            }
+            len += 2;
+        }
+        None
+    }
+
+    /// Finds a self-avoiding path of *exactly* `len` grid units, or
+    /// `None` when none exists (or the node budget runs out).
+    pub fn route_exact(&self, source: Point, target: Point, len: GridLen) -> Option<GridPath> {
+        let d = source.manhattan(target);
+        if len < d || (len - d) % 2 == 1 {
+            return None;
+        }
+        if len == 0 {
+            return Some(GridPath::singleton(source));
+        }
+        let mut visited = std::collections::HashSet::new();
+        visited.insert(source);
+        let mut stack = vec![source];
+        let mut budget = self.node_budget;
+        if self.dfs(target, len, &mut stack, &mut visited, &mut budget) {
+            return Some(GridPath::new(stack).expect("DFS path is connected"));
+        }
+        None
+    }
+
+    fn dfs(
+        &self,
+        target: Point,
+        remaining: GridLen,
+        stack: &mut Vec<Point>,
+        visited: &mut std::collections::HashSet<Point>,
+        budget: &mut u64,
+    ) -> bool {
+        if *budget == 0 {
+            return false;
+        }
+        *budget -= 1;
+        let cur = *stack.last().expect("stack nonempty");
+        if remaining == 0 {
+            return cur == target;
+        }
+        // Neighbor order: when we still need slack (remaining > distance),
+        // prefer moves that *preserve* slack-burning options; otherwise
+        // head straight for the target.
+        let mut neighbors = cur.neighbors4();
+        let need = cur.manhattan(target);
+        if need == remaining {
+            // Must beeline: sort by distance-to-target ascending.
+            neighbors.sort_by_key(|n| n.manhattan(target));
+        } else {
+            // Burn slack: prefer stepping away first so the tail of the
+            // path can still reach the target.
+            neighbors.sort_by_key(|n| std::cmp::Reverse(n.manhattan(target)));
+        }
+        for n in neighbors {
+            if visited.contains(&n) {
+                continue;
+            }
+            // Target is exempt from blockage; transit must be free.
+            if self.obs.is_blocked(n) && n != target {
+                continue;
+            }
+            let nd = n.manhattan(target);
+            let rem = remaining - 1;
+            if nd > rem || (rem - nd) % 2 == 1 {
+                continue; // unreachable in exactly `rem` steps
+            }
+            stack.push(n);
+            visited.insert(n);
+            if self.dfs(target, rem, stack, visited, budget) {
+                return true;
+            }
+            stack.pop();
+            visited.remove(&n);
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pacor_grid::Grid;
+
+    fn open(w: u32, h: u32) -> ObsMap {
+        ObsMap::new(&Grid::new(w, h).unwrap())
+    }
+
+    fn assert_self_avoiding(p: &GridPath) {
+        let mut seen = std::collections::HashSet::new();
+        for c in p.iter() {
+            assert!(seen.insert(*c), "cell {c} revisited");
+        }
+    }
+
+    #[test]
+    fn trivial_bound_gives_shortest() {
+        let obs = open(8, 8);
+        let p = BoundedAStar::new(&obs)
+            .route_at_least(Point::new(0, 0), Point::new(3, 0), 0)
+            .unwrap();
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn meets_exact_parity_compatible_bound() {
+        let obs = open(10, 10);
+        let p = BoundedAStar::new(&obs)
+            .route_at_least(Point::new(1, 1), Point::new(4, 1), 7)
+            .unwrap();
+        assert_eq!(p.len(), 7);
+        assert_self_avoiding(&p);
+    }
+
+    #[test]
+    fn rounds_up_on_parity_mismatch() {
+        let obs = open(10, 10);
+        // Distance 3 (odd); bound 6 (even) → minimum feasible is 7.
+        let p = BoundedAStar::new(&obs)
+            .route_at_least(Point::new(1, 1), Point::new(4, 1), 6)
+            .unwrap();
+        assert_eq!(p.len(), 7);
+    }
+
+    #[test]
+    fn long_detours_in_open_space() {
+        let obs = open(12, 12);
+        let p = BoundedAStar::new(&obs)
+            .route_at_least(Point::new(2, 2), Point::new(3, 2), 21)
+            .unwrap();
+        assert_eq!(p.len(), 21);
+        assert_self_avoiding(&p);
+        assert_eq!(p.source(), Point::new(2, 2));
+        assert_eq!(p.target(), Point::new(3, 2));
+    }
+
+    #[test]
+    fn avoids_obstacles_while_detouring() {
+        let mut g = Grid::new(10, 10).unwrap();
+        for y in 3..10 {
+            g.set_obstacle(Point::new(5, y));
+        }
+        let obs = ObsMap::new(&g);
+        let p = BoundedAStar::new(&obs)
+            .route_at_least(Point::new(2, 5), Point::new(8, 5), 12)
+            .unwrap();
+        assert!(p.len() >= 12);
+        assert_self_avoiding(&p);
+        for c in p.iter() {
+            assert!(!obs.is_blocked(*c));
+        }
+    }
+
+    #[test]
+    fn exact_length_impossible_cases() {
+        let obs = open(6, 6);
+        let r = BoundedAStar::new(&obs);
+        // Shorter than Manhattan distance.
+        assert!(r.route_exact(Point::new(0, 0), Point::new(3, 0), 2).is_none());
+        // Wrong parity.
+        assert!(r.route_exact(Point::new(0, 0), Point::new(3, 0), 4).is_none());
+    }
+
+    #[test]
+    fn zero_length_same_cell() {
+        let obs = open(4, 4);
+        let p = BoundedAStar::new(&obs)
+            .route_exact(Point::new(2, 2), Point::new(2, 2), 0)
+            .unwrap();
+        assert_eq!(p.len(), 0);
+    }
+
+    #[test]
+    fn corridor_caps_detour_length() {
+        // 1-wide corridor: only the straight path exists; a bound above
+        // its length is unsatisfiable.
+        let mut g = Grid::new(8, 3).unwrap();
+        for x in 0..8 {
+            g.set_obstacle(Point::new(x, 0));
+            g.set_obstacle(Point::new(x, 2));
+        }
+        let obs = ObsMap::new(&g);
+        let r = BoundedAStar::new(&obs).with_max_overshoot(10);
+        assert!(r.route_at_least(Point::new(0, 1), Point::new(7, 1), 0).is_some());
+        assert!(r.route_at_least(Point::new(0, 1), Point::new(7, 1), 9).is_none());
+    }
+
+    #[test]
+    fn endpoints_exempt_from_blockage() {
+        let mut g = Grid::new(6, 6).unwrap();
+        g.set_obstacle(Point::new(0, 0));
+        g.set_obstacle(Point::new(4, 0));
+        let obs = ObsMap::new(&g);
+        let p = BoundedAStar::new(&obs)
+            .route_at_least(Point::new(0, 0), Point::new(4, 0), 4)
+            .unwrap();
+        assert_eq!(p.source(), Point::new(0, 0));
+        assert_eq!(p.target(), Point::new(4, 0));
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_none() {
+        let obs = open(10, 10);
+        let r = BoundedAStar::new(&obs).with_node_budget(3);
+        assert!(r.route_exact(Point::new(0, 0), Point::new(5, 5), 20).is_none());
+    }
+
+    #[test]
+    fn result_is_minimal_above_bound() {
+        let obs = open(14, 14);
+        for lt in [5u64, 8, 11, 16] {
+            let p = BoundedAStar::new(&obs)
+                .route_at_least(Point::new(3, 3), Point::new(6, 4), lt)
+                .unwrap();
+            let d = 4u64;
+            let expect = if lt <= d {
+                d
+            } else if (lt - d).is_multiple_of(2) {
+                lt
+            } else {
+                lt + 1
+            };
+            assert_eq!(p.len(), expect, "bound {lt}");
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Valve clusters — the unit the routing flow operates on.
+
+use crate::ValveId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a cluster, dense from 0 within one design.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ClusterId(pub u32);
+
+impl fmt::Display for ClusterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A cluster of pairwise-compatible valves sharing one control pin.
+///
+/// Clusters flagged with [`Cluster::is_length_matched`] carry the paper's
+/// length-matching constraint: every member's routed channel length to the
+/// shared control pin must lie within `δ` of every other member's.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cluster {
+    id: ClusterId,
+    members: Vec<ValveId>,
+    length_matched: bool,
+}
+
+impl Cluster {
+    /// Creates a cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty member list.
+    pub fn new(id: ClusterId, members: Vec<ValveId>, length_matched: bool) -> Self {
+        assert!(!members.is_empty(), "cluster must have at least one valve");
+        Self {
+            id,
+            members,
+            length_matched,
+        }
+    }
+
+    /// The cluster identifier.
+    #[inline]
+    pub fn id(&self) -> ClusterId {
+        self.id
+    }
+
+    /// Member valves.
+    #[inline]
+    pub fn members(&self) -> &[ValveId] {
+        &self.members
+    }
+
+    /// Number of member valves.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Returns `true` when the cluster has exactly one valve (single
+    /// valves route directly to a control pin, paper Section 5).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false // a cluster always has ≥ 1 member (enforced in `new`)
+    }
+
+    /// Returns `true` when the cluster carries the length-matching
+    /// constraint.
+    #[inline]
+    pub fn is_length_matched(&self) -> bool {
+        self.length_matched
+    }
+
+    /// Adds a valve to the cluster (used by the greedy clusterer).
+    pub(crate) fn push(&mut self, v: ValveId) {
+        self.members.push(v);
+    }
+
+    /// Splits the cluster into singletons — the paper's *de-clustering*
+    /// fallback when routing a cluster fails. Ids are assigned from
+    /// `next_id` upward.
+    pub fn decluster(&self, next_id: u32) -> Vec<Cluster> {
+        self.members
+            .iter()
+            .enumerate()
+            .map(|(k, &v)| Cluster::new(ClusterId(next_id + k as u32), vec![v], false))
+            .collect()
+    }
+
+    /// Splits the cluster in half (a milder de-clustering step: "the
+    /// corresponding cluster will be de-clustered into smaller ones").
+    ///
+    /// Returns `None` for singleton clusters, which cannot shrink.
+    pub fn split(&self, next_id: u32) -> Option<(Cluster, Cluster)> {
+        if self.members.len() < 2 {
+            return None;
+        }
+        let mid = self.members.len() / 2;
+        let (a, b) = self.members.split_at(mid);
+        Some((
+            Cluster::new(ClusterId(next_id), a.to_vec(), false),
+            Cluster::new(ClusterId(next_id + 1), b.to_vec(), false),
+        ))
+    }
+}
+
+impl fmt::Display for Cluster {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}{}]",
+            self.id,
+            self.members
+                .iter()
+                .map(|m| m.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+            if self.length_matched { "; δ" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(n: u32) -> Cluster {
+        Cluster::new(ClusterId(0), (0..n).map(ValveId).collect(), true)
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one valve")]
+    fn empty_cluster_panics() {
+        Cluster::new(ClusterId(0), vec![], false);
+    }
+
+    #[test]
+    fn decluster_to_singletons() {
+        let c = cluster(3);
+        let parts = c.decluster(10);
+        assert_eq!(parts.len(), 3);
+        for (k, p) in parts.iter().enumerate() {
+            assert_eq!(p.id(), ClusterId(10 + k as u32));
+            assert_eq!(p.len(), 1);
+            assert!(!p.is_length_matched());
+        }
+    }
+
+    #[test]
+    fn split_preserves_members() {
+        let c = cluster(5);
+        let (a, b) = c.split(7).unwrap();
+        assert_eq!(a.len() + b.len(), 5);
+        let mut all: Vec<_> = a.members().to_vec();
+        all.extend_from_slice(b.members());
+        all.sort();
+        assert_eq!(all, (0..5).map(ValveId).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_singleton_is_none() {
+        assert!(cluster(1).split(0).is_none());
+    }
+
+    #[test]
+    fn display_shows_constraint_flag() {
+        let c = cluster(2);
+        assert!(c.to_string().contains("δ"));
+        let d = Cluster::new(ClusterId(1), vec![ValveId(9)], false);
+        assert!(!d.to_string().contains("δ"));
+    }
+}

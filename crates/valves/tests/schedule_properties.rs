@@ -1,0 +1,96 @@
+//! Property-based tests for the schedule → activation-sequence
+//! front-end.
+
+use pacor_valves::{ActivationStatus, ControlProgram, IdlePolicy, ValveId};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn sequences_cover_every_step(
+        steps in 1usize..12,
+        activations in prop::collection::vec((0usize..8, 0usize..12, 0usize..12), 0..12),
+    ) {
+        let mut prog = ControlProgram::new(steps);
+        let devices: Vec<_> = (0..8u32)
+            .map(|d| {
+                prog.add_device(
+                    vec![(ValveId(d), ActivationStatus::Closed)],
+                    IdlePolicy::DontCare,
+                )
+            })
+            .collect();
+        for (d, a, b) in activations {
+            let (lo, hi) = (a.min(b).min(steps), a.max(b).min(steps));
+            prog.activate(devices[d], lo..hi).unwrap();
+        }
+        let seqs = prog.try_sequences().expect("disjoint valves never conflict");
+        for seq in seqs.values() {
+            prop_assert_eq!(seq.len(), steps);
+        }
+    }
+
+    #[test]
+    fn same_schedule_valves_are_compatible(
+        steps in 1usize..10,
+        lo in 0usize..10,
+        hi in 0usize..10,
+    ) {
+        let (lo, hi) = (lo.min(hi).min(steps), lo.max(hi).min(steps));
+        let mut prog = ControlProgram::new(steps);
+        let dev = prog.add_device(
+            vec![
+                (ValveId(0), ActivationStatus::Closed),
+                (ValveId(1), ActivationStatus::Closed),
+            ],
+            IdlePolicy::DontCare,
+        );
+        prog.activate(dev, lo..hi).unwrap();
+        let seqs = prog.sequences();
+        prop_assert!(seqs[&ValveId(0)].is_compatible(&seqs[&ValveId(1)]));
+        prop_assert_eq!(&seqs[&ValveId(0)], &seqs[&ValveId(1)]);
+    }
+
+    #[test]
+    fn dont_care_idle_never_conflicts_on_shared_valves(
+        steps in 1usize..10,
+        ranges in prop::collection::vec((0usize..10, 0usize..10), 1..6),
+    ) {
+        // Many devices sharing one valve, all demanding Closed when
+        // active, don't-care idle: unifiable by construction.
+        let mut prog = ControlProgram::new(steps);
+        for &(a, b) in &ranges {
+            let d = prog.add_device(
+                vec![(ValveId(9), ActivationStatus::Closed)],
+                IdlePolicy::DontCare,
+            );
+            let (lo, hi) = (a.min(b).min(steps), a.max(b).min(steps));
+            prog.activate(d, lo..hi).unwrap();
+        }
+        prop_assert!(prog.try_sequences().is_ok());
+    }
+
+    #[test]
+    fn activation_is_reflected_in_the_sequence(
+        steps in 2usize..10,
+        split in 1usize..9,
+    ) {
+        let split = split.min(steps - 1);
+        let mut prog = ControlProgram::new(steps);
+        let d = prog.add_device(
+            vec![(ValveId(0), ActivationStatus::Closed)],
+            IdlePolicy::Open,
+        );
+        prog.activate(d, 0..split).unwrap();
+        let seq = prog.sequences().remove(&ValveId(0)).unwrap();
+        for (t, s) in seq.steps().iter().enumerate() {
+            let expect = if t < split {
+                ActivationStatus::Closed
+            } else {
+                ActivationStatus::Open
+            };
+            prop_assert_eq!(*s, expect, "step {}", t);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Runs all three flow variants over every Table 1 benchmark design and
+//! prints a Table 2-style comparison — the paper's headline experiment.
+//!
+//! ```sh
+//! cargo run --release --example benchmark_sweep            # S1–S5
+//! cargo run --release --example benchmark_sweep -- --full  # + Chip1/2
+//! ```
+
+use pacor_repro::pacor::{BenchDesign, FlowConfig, FlowVariant, PacorFlow, RouteReport};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let designs: Vec<BenchDesign> = if full {
+        BenchDesign::ALL.to_vec()
+    } else {
+        BenchDesign::SYNTH.to_vec()
+    };
+
+    println!("{}", RouteReport::table_header());
+    for design in designs {
+        let problem = design.synthesize(42);
+        for variant in FlowVariant::ALL {
+            let flow = PacorFlow::new(FlowConfig::for_variant(variant));
+            match flow.run(&problem) {
+                Ok(report) => println!("{}", report.table_row()),
+                Err(e) => eprintln!("{:?} {variant:?}: {e}", design),
+            }
+        }
+        println!();
+    }
+
+    println!("(δ = 1 grid unit; seed 42; see EXPERIMENTS.md for analysis)");
+}

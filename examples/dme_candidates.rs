@@ -1,0 +1,66 @@
+//! Reproduces Figure 3 of the paper: candidate Steiner trees computed by
+//! the DME algorithm for a four-valve length-matching cluster.
+//!
+//! The bottom-up phase computes merging segments; the top-down phase has
+//! freedom in choosing merging nodes on them, and each choice yields a
+//! different zero-mismatch tree — the candidates PACOR later selects
+//! among with the MWCP formulation.
+//!
+//! ```sh
+//! cargo run --example dme_candidates
+//! ```
+
+use pacor_repro::dme::{balanced_bipartition, candidates, CandidateConfig, DmeBuilder};
+use pacor_repro::grid::Point;
+
+fn main() {
+    // Four sinks S1–S4 in the spirit of Fig. 3 (diagonal spread so the
+    // merging segments are genuine segments, not single points).
+    let sinks = vec![
+        Point::new(2, 2),   // S1
+        Point::new(14, 6),  // S2
+        Point::new(4, 12),  // S3
+        Point::new(12, 16), // S4
+    ];
+
+    let topo = balanced_bipartition(&sinks);
+    println!("connection topology (balanced bipartition): {topo:?}");
+    println!();
+
+    let cands = candidates(&sinks, None, CandidateConfig::default());
+    println!("{} candidate Steiner tree(s):", cands.len());
+    for (k, tree) in cands.iter().enumerate() {
+        println!(
+            "  candidate {k}: root {}, total length {}, mismatch ΔL = {}",
+            tree.root(),
+            tree.total_length(),
+            tree.mismatch()
+        );
+        for (i, _) in sinks.iter().enumerate() {
+            println!(
+                "    S{}: full path length {}",
+                i + 1,
+                tree.full_path_length(i)
+            );
+        }
+    }
+
+    // A single embedding rendered as ASCII art.
+    let tree = DmeBuilder::new(&sinks).embed(&topo);
+    println!();
+    println!("canonical embedding (sinks ■, merging nodes ●, root ◆):");
+    let mut canvas = vec![vec!['·'; 18]; 18];
+    for n in tree.nodes() {
+        let ch = if n.parent.is_none() {
+            '◆'
+        } else if n.sink.is_some() {
+            '■'
+        } else {
+            '●'
+        };
+        canvas[n.point.y as usize][n.point.x as usize] = ch;
+    }
+    for row in canvas.iter().rev() {
+        println!("  {}", row.iter().collect::<String>());
+    }
+}

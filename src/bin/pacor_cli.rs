@@ -1,0 +1,147 @@
+//! `pacor` — command-line front-end for the PACOR routing flow.
+//!
+//! ```text
+//! pacor synth <design> [seed]          write a problem JSON to stdout
+//! pacor route <problem.json|design>    run the flow, report JSON to stdout
+//! pacor render <problem.json|design>   run the flow, SVG to stdout
+//! pacor table2 [--full]                regenerate the paper's Table 2
+//! ```
+//!
+//! `<design>` is one of `Chip1 Chip2 S1 S2 S3 S4 S5`; anything else is
+//! treated as a path to a problem JSON produced by `pacor synth` (or by
+//! hand — the schema is `pacor::Problem`'s serde form).
+
+use pacor::{BenchDesign, FlowConfig, FlowVariant, PacorFlow, Problem, RouteReport};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("synth") => cmd_synth(&args[1..]),
+        Some("route") => cmd_route(&args[1..]),
+        Some("render") => cmd_render(&args[1..]),
+        Some("table2") => cmd_table2(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: pacor synth <design> [seed]\n       pacor route <problem.json|design>\n       pacor render <problem.json|design>\n       pacor table2 [--full]"
+            );
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn design_of(name: &str) -> Option<BenchDesign> {
+    match name {
+        "Chip1" => Some(BenchDesign::Chip1),
+        "Chip2" => Some(BenchDesign::Chip2),
+        "S1" => Some(BenchDesign::S1),
+        "S2" => Some(BenchDesign::S2),
+        "S3" => Some(BenchDesign::S3),
+        "S4" => Some(BenchDesign::S4),
+        "S5" => Some(BenchDesign::S5),
+        _ => None,
+    }
+}
+
+fn load_problem(arg: &str, seed: u64) -> Result<Problem, String> {
+    if let Some(design) = design_of(arg) {
+        return Ok(design.synthesize(seed));
+    }
+    let text = std::fs::read_to_string(arg).map_err(|e| format!("reading {arg}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("parsing {arg}: {e}"))
+}
+
+fn cmd_synth(args: &[String]) -> i32 {
+    let Some(name) = args.first() else {
+        eprintln!("synth: missing design name");
+        return 2;
+    };
+    let Some(design) = design_of(name) else {
+        eprintln!("synth: unknown design {name}");
+        return 2;
+    };
+    let seed = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42u64);
+    let problem = design.synthesize(seed);
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&problem).expect("problems serialize")
+    );
+    0
+}
+
+fn cmd_route(args: &[String]) -> i32 {
+    let Some(arg) = args.first() else {
+        eprintln!("route: missing problem file or design name");
+        return 2;
+    };
+    let problem = match load_problem(arg, 42) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("route: {e}");
+            return 1;
+        }
+    };
+    match PacorFlow::new(FlowConfig::default()).run(&problem) {
+        Ok(report) => {
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&report).expect("reports serialize")
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("route: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_render(args: &[String]) -> i32 {
+    let Some(arg) = args.first() else {
+        eprintln!("render: missing problem file or design name");
+        return 2;
+    };
+    let problem = match load_problem(arg, 42) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("render: {e}");
+            return 1;
+        }
+    };
+    match PacorFlow::new(FlowConfig::default()).run_detailed(&problem) {
+        Ok((_, routed)) => {
+            print!("{}", pacor::render_svg(&problem, &routed, 12));
+            0
+        }
+        Err(e) => {
+            eprintln!("render: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_table2(args: &[String]) -> i32 {
+    let full = args.iter().any(|a| a == "--full");
+    let designs: Vec<BenchDesign> = if full {
+        BenchDesign::ALL.to_vec()
+    } else {
+        BenchDesign::SYNTH.to_vec()
+    };
+    println!("{}", RouteReport::table_header());
+    for d in designs {
+        let problem = d.synthesize(42);
+        for v in FlowVariant::ALL {
+            match PacorFlow::new(FlowConfig::for_variant(v)).run(&problem) {
+                Ok(r) => println!("{}", r.table_row()),
+                Err(e) => {
+                    eprintln!("table2: {e}");
+                    return 1;
+                }
+            }
+        }
+    }
+    0
+}

@@ -1,0 +1,36 @@
+//! Umbrella crate for the PACOR reproduction workspace.
+//!
+//! Re-exports the public API of every member crate so that the runnable
+//! examples under `examples/` and the integration tests under `tests/`
+//! exercise the system exactly as a downstream user would.
+//!
+//! The primary entry point is [`pacor`] — the full control-layer routing
+//! flow — with the substrates exposed for advanced use:
+//!
+//! * [`grid`] — routing grid, obstacle maps, Manhattan geometry
+//! * [`valves`] — activation sequences, compatibility, valve clustering
+//! * [`clique`] — maximum weight clique solvers
+//! * [`flow`] — minimum-cost flow and the escape-routing network
+//! * [`route`] — A\* routers, negotiation routing, bounded-length routing
+//! * [`dme`] — deferred-merge embedding and candidate Steiner trees
+//!
+//! # Examples
+//!
+//! ```
+//! use pacor_repro::pacor::{BenchDesign, FlowConfig, PacorFlow};
+//!
+//! let problem = BenchDesign::S1.synthesize(42);
+//! let report = PacorFlow::new(FlowConfig::default()).run(&problem)?;
+//! assert_eq!(report.completion_rate(), 1.0);
+//! # Ok::<(), pacor_repro::pacor::FlowError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use pacor;
+pub use pacor_clique as clique;
+pub use pacor_dme as dme;
+pub use pacor_flow as flow;
+pub use pacor_grid as grid;
+pub use pacor_route as route;
+pub use pacor_valves as valves;

@@ -1,0 +1,73 @@
+//! Heavy integration tests on the Chip1/Chip2-scale designs. These run
+//! in seconds under `--release` but minutes under the default dev
+//! profile, so they are `#[ignore]`d by default:
+//!
+//! ```sh
+//! cargo test --release --test chips -- --ignored
+//! ```
+
+use pacor_repro::pacor::{BenchDesign, FlowConfig, FlowVariant, PacorFlow};
+
+#[test]
+#[ignore = "chip-scale; run with --release -- --ignored"]
+fn chip2_all_variants_identical_and_complete() {
+    let problem = BenchDesign::Chip2.synthesize(42);
+    let mut results = Vec::new();
+    for v in FlowVariant::ALL {
+        let r = PacorFlow::new(FlowConfig::for_variant(v))
+            .run(&problem)
+            .expect("valid");
+        assert_eq!(r.completion_rate(), 1.0, "{}", v.label());
+        results.push((r.matched_clusters, r.total_length));
+    }
+    // Paper: "All the three methods obtain same solution quality on
+    // Chip2" — pairs-only clusters with abundant routing resources.
+    assert_eq!(results[0], results[1]);
+    assert_eq!(results[1], results[2]);
+    assert_eq!(results[0].0, 22, "all 22 pair clusters matched");
+}
+
+#[test]
+#[ignore = "chip-scale; run with --release -- --ignored"]
+fn chip1_pacor_dominates_without_selection() {
+    let problem = BenchDesign::Chip1.synthesize(42);
+    let wo_sel = PacorFlow::new(FlowConfig::for_variant(FlowVariant::WithoutSelection))
+        .run(&problem)
+        .expect("valid");
+    let pacor = PacorFlow::new(FlowConfig::for_variant(FlowVariant::Pacor))
+        .run(&problem)
+        .expect("valid");
+    assert_eq!(wo_sel.completion_rate(), 1.0);
+    assert_eq!(pacor.completion_rate(), 1.0);
+    assert!(
+        pacor.matched_clusters >= wo_sel.matched_clusters,
+        "PACOR {} < w/o Sel {}",
+        pacor.matched_clusters,
+        wo_sel.matched_clusters
+    );
+    // Significant portion matched (paper: 24/40; ours routes ≥ that).
+    assert!(pacor.matched_clusters * 2 >= pacor.clusters_multi);
+}
+
+#[test]
+#[ignore = "chip-scale; run with --release -- --ignored"]
+fn chip1_matched_clusters_satisfy_delta() {
+    let problem = BenchDesign::Chip1.synthesize(42);
+    let (report, routed) = PacorFlow::new(FlowConfig::default())
+        .run_detailed(&problem)
+        .expect("valid");
+    assert_eq!(report.completion_rate(), 1.0);
+    for rc in &routed {
+        if rc.cluster.is_length_matched() && rc.is_complete() {
+            if let Some(m) = rc.mismatch() {
+                if m <= problem.delta {
+                    // counted as matched — verify per-member lengths agree
+                    let lens = rc.member_lengths().expect("LM cluster");
+                    let max = lens.iter().max().unwrap();
+                    let min = lens.iter().min().unwrap();
+                    assert!(max - min <= problem.delta);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! End-to-end tests of the `pacor` command-line binary.
+
+use std::process::Command;
+
+fn pacor(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_pacor-cli"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let out = pacor(&[]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn synth_emits_problem_json() {
+    let out = pacor(&["synth", "S1", "7"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"name\": \"S1\""));
+    assert!(text.contains("\"valves\""));
+    assert!(text.contains("\"pins\""));
+}
+
+#[test]
+fn synth_rejects_unknown_design() {
+    let out = pacor(&["synth", "S99"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown design"));
+}
+
+#[test]
+fn route_by_design_name() {
+    let out = pacor(&["route", "S1"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"matched_clusters\""));
+    assert!(text.contains("\"valves_routed\": 5"));
+}
+
+#[test]
+fn synth_then_route_roundtrip() {
+    let synth = pacor(&["synth", "S2", "3"]);
+    assert!(synth.status.success());
+    let dir = std::env::temp_dir().join("pacor_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("s2.json");
+    std::fs::write(&path, &synth.stdout).unwrap();
+    let route = pacor(&["route", path.to_str().unwrap()]);
+    assert!(route.status.success());
+    let text = String::from_utf8_lossy(&route.stdout);
+    assert!(text.contains("\"design\": \"S2\""));
+    assert!(text.contains("\"valves_total\": 10"));
+}
+
+#[test]
+fn route_rejects_garbage_file() {
+    let dir = std::env::temp_dir().join("pacor_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("garbage.json");
+    std::fs::write(&path, b"{ not json").unwrap();
+    let out = pacor(&["route", path.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("parsing"));
+}
+
+#[test]
+fn render_emits_svg() {
+    let out = pacor(&["render", "S1"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.starts_with("<svg"));
+    assert!(text.trim_end().ends_with("</svg>"));
+}
+
+#[test]
+fn table2_prints_all_synth_designs() {
+    let out = pacor(&["table2"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for d in ["S1", "S2", "S3", "S4", "S5"] {
+        assert!(text.contains(d), "missing {d}");
+    }
+    assert!(text.contains("PACOR"));
+    assert!(text.contains("w/o Sel"));
+}
