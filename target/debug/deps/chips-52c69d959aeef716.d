@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chips-52c69d959aeef716.d: tests/chips.rs
+
+/root/repo/target/debug/deps/chips-52c69d959aeef716: tests/chips.rs
+
+tests/chips.rs:

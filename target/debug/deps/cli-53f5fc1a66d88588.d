@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-53f5fc1a66d88588.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-53f5fc1a66d88588: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_pacor-cli=/root/repo/target/debug/pacor-cli

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/custom_flow-ab2d68d3ef66f226.d: tests/custom_flow.rs
+
+/root/repo/target/debug/deps/custom_flow-ab2d68d3ef66f226: tests/custom_flow.rs
+
+tests/custom_flow.rs:

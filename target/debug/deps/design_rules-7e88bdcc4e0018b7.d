@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/design_rules-7e88bdcc4e0018b7.d: tests/design_rules.rs
+
+/root/repo/target/debug/deps/design_rules-7e88bdcc4e0018b7: tests/design_rules.rs
+
+tests/design_rules.rs:

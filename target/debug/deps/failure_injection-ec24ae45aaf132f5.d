@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-ec24ae45aaf132f5.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-ec24ae45aaf132f5: tests/failure_injection.rs
+
+tests/failure_injection.rs:

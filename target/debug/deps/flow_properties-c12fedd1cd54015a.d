@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flow_properties-c12fedd1cd54015a.d: tests/flow_properties.rs
+
+/root/repo/target/debug/deps/flow_properties-c12fedd1cd54015a: tests/flow_properties.rs
+
+tests/flow_properties.rs:

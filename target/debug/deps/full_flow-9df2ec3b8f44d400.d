@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_flow-9df2ec3b8f44d400.d: tests/full_flow.rs
+
+/root/repo/target/debug/deps/full_flow-9df2ec3b8f44d400: tests/full_flow.rs
+
+tests/full_flow.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/pacor-5b873446aa1275fb.d: crates/core/src/lib.rs crates/core/src/bench_suite.rs crates/core/src/config.rs crates/core/src/detour.rs crates/core/src/error.rs crates/core/src/escape_stage.rs crates/core/src/flow.rs crates/core/src/lm_routing.rs crates/core/src/mst_routing.rs crates/core/src/physics.rs crates/core/src/problem.rs crates/core/src/render.rs crates/core/src/report.rs crates/core/src/routed.rs crates/core/src/verify.rs
+
+/root/repo/target/debug/deps/pacor-5b873446aa1275fb: crates/core/src/lib.rs crates/core/src/bench_suite.rs crates/core/src/config.rs crates/core/src/detour.rs crates/core/src/error.rs crates/core/src/escape_stage.rs crates/core/src/flow.rs crates/core/src/lm_routing.rs crates/core/src/mst_routing.rs crates/core/src/physics.rs crates/core/src/problem.rs crates/core/src/render.rs crates/core/src/report.rs crates/core/src/routed.rs crates/core/src/verify.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bench_suite.rs:
+crates/core/src/config.rs:
+crates/core/src/detour.rs:
+crates/core/src/error.rs:
+crates/core/src/escape_stage.rs:
+crates/core/src/flow.rs:
+crates/core/src/lm_routing.rs:
+crates/core/src/mst_routing.rs:
+crates/core/src/physics.rs:
+crates/core/src/problem.rs:
+crates/core/src/render.rs:
+crates/core/src/report.rs:
+crates/core/src/routed.rs:
+crates/core/src/verify.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/pacor-7b579205b3038354.d: crates/core/src/lib.rs crates/core/src/bench_suite.rs crates/core/src/config.rs crates/core/src/detour.rs crates/core/src/error.rs crates/core/src/escape_stage.rs crates/core/src/flow.rs crates/core/src/lm_routing.rs crates/core/src/mst_routing.rs crates/core/src/physics.rs crates/core/src/problem.rs crates/core/src/render.rs crates/core/src/report.rs crates/core/src/routed.rs crates/core/src/verify.rs
+
+/root/repo/target/debug/deps/libpacor-7b579205b3038354.rlib: crates/core/src/lib.rs crates/core/src/bench_suite.rs crates/core/src/config.rs crates/core/src/detour.rs crates/core/src/error.rs crates/core/src/escape_stage.rs crates/core/src/flow.rs crates/core/src/lm_routing.rs crates/core/src/mst_routing.rs crates/core/src/physics.rs crates/core/src/problem.rs crates/core/src/render.rs crates/core/src/report.rs crates/core/src/routed.rs crates/core/src/verify.rs
+
+/root/repo/target/debug/deps/libpacor-7b579205b3038354.rmeta: crates/core/src/lib.rs crates/core/src/bench_suite.rs crates/core/src/config.rs crates/core/src/detour.rs crates/core/src/error.rs crates/core/src/escape_stage.rs crates/core/src/flow.rs crates/core/src/lm_routing.rs crates/core/src/mst_routing.rs crates/core/src/physics.rs crates/core/src/problem.rs crates/core/src/render.rs crates/core/src/report.rs crates/core/src/routed.rs crates/core/src/verify.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bench_suite.rs:
+crates/core/src/config.rs:
+crates/core/src/detour.rs:
+crates/core/src/error.rs:
+crates/core/src/escape_stage.rs:
+crates/core/src/flow.rs:
+crates/core/src/lm_routing.rs:
+crates/core/src/mst_routing.rs:
+crates/core/src/physics.rs:
+crates/core/src/problem.rs:
+crates/core/src/render.rs:
+crates/core/src/report.rs:
+crates/core/src/routed.rs:
+crates/core/src/verify.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pacor_bench-9eee1333cbbc6b0f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/pacor_bench-9eee1333cbbc6b0f: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

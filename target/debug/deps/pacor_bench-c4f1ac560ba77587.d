@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pacor_bench-c4f1ac560ba77587.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpacor_bench-c4f1ac560ba77587.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpacor_bench-c4f1ac560ba77587.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

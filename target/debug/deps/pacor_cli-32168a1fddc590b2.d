@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pacor_cli-32168a1fddc590b2.d: src/bin/pacor_cli.rs
+
+/root/repo/target/debug/deps/pacor_cli-32168a1fddc590b2: src/bin/pacor_cli.rs
+
+src/bin/pacor_cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pacor_cli-8648a13f4bfa1445.d: src/bin/pacor_cli.rs
+
+/root/repo/target/debug/deps/pacor_cli-8648a13f4bfa1445: src/bin/pacor_cli.rs
+
+src/bin/pacor_cli.rs:

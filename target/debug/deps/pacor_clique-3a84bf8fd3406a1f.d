@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pacor_clique-3a84bf8fd3406a1f.d: crates/clique/src/lib.rs crates/clique/src/annealing.rs crates/clique/src/bitset.rs crates/clique/src/exact.rs crates/clique/src/graph.rs crates/clique/src/greedy.rs crates/clique/src/local_search.rs crates/clique/src/selection.rs
+
+/root/repo/target/debug/deps/pacor_clique-3a84bf8fd3406a1f: crates/clique/src/lib.rs crates/clique/src/annealing.rs crates/clique/src/bitset.rs crates/clique/src/exact.rs crates/clique/src/graph.rs crates/clique/src/greedy.rs crates/clique/src/local_search.rs crates/clique/src/selection.rs
+
+crates/clique/src/lib.rs:
+crates/clique/src/annealing.rs:
+crates/clique/src/bitset.rs:
+crates/clique/src/exact.rs:
+crates/clique/src/graph.rs:
+crates/clique/src/greedy.rs:
+crates/clique/src/local_search.rs:
+crates/clique/src/selection.rs:

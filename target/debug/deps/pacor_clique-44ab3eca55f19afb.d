@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pacor_clique-44ab3eca55f19afb.d: crates/clique/src/lib.rs crates/clique/src/annealing.rs crates/clique/src/bitset.rs crates/clique/src/exact.rs crates/clique/src/graph.rs crates/clique/src/greedy.rs crates/clique/src/local_search.rs crates/clique/src/selection.rs
+
+/root/repo/target/debug/deps/libpacor_clique-44ab3eca55f19afb.rlib: crates/clique/src/lib.rs crates/clique/src/annealing.rs crates/clique/src/bitset.rs crates/clique/src/exact.rs crates/clique/src/graph.rs crates/clique/src/greedy.rs crates/clique/src/local_search.rs crates/clique/src/selection.rs
+
+/root/repo/target/debug/deps/libpacor_clique-44ab3eca55f19afb.rmeta: crates/clique/src/lib.rs crates/clique/src/annealing.rs crates/clique/src/bitset.rs crates/clique/src/exact.rs crates/clique/src/graph.rs crates/clique/src/greedy.rs crates/clique/src/local_search.rs crates/clique/src/selection.rs
+
+crates/clique/src/lib.rs:
+crates/clique/src/annealing.rs:
+crates/clique/src/bitset.rs:
+crates/clique/src/exact.rs:
+crates/clique/src/graph.rs:
+crates/clique/src/greedy.rs:
+crates/clique/src/local_search.rs:
+crates/clique/src/selection.rs:

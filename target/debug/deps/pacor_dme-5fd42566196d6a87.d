@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pacor_dme-5fd42566196d6a87.d: crates/dme/src/lib.rs crates/dme/src/candidates.rs crates/dme/src/embed.rs crates/dme/src/topology.rs crates/dme/src/tree.rs crates/dme/src/trr.rs
+
+/root/repo/target/debug/deps/libpacor_dme-5fd42566196d6a87.rlib: crates/dme/src/lib.rs crates/dme/src/candidates.rs crates/dme/src/embed.rs crates/dme/src/topology.rs crates/dme/src/tree.rs crates/dme/src/trr.rs
+
+/root/repo/target/debug/deps/libpacor_dme-5fd42566196d6a87.rmeta: crates/dme/src/lib.rs crates/dme/src/candidates.rs crates/dme/src/embed.rs crates/dme/src/topology.rs crates/dme/src/tree.rs crates/dme/src/trr.rs
+
+crates/dme/src/lib.rs:
+crates/dme/src/candidates.rs:
+crates/dme/src/embed.rs:
+crates/dme/src/topology.rs:
+crates/dme/src/tree.rs:
+crates/dme/src/trr.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pacor_dme-9133a070c41db5b2.d: crates/dme/src/lib.rs crates/dme/src/candidates.rs crates/dme/src/embed.rs crates/dme/src/topology.rs crates/dme/src/tree.rs crates/dme/src/trr.rs
+
+/root/repo/target/debug/deps/pacor_dme-9133a070c41db5b2: crates/dme/src/lib.rs crates/dme/src/candidates.rs crates/dme/src/embed.rs crates/dme/src/topology.rs crates/dme/src/tree.rs crates/dme/src/trr.rs
+
+crates/dme/src/lib.rs:
+crates/dme/src/candidates.rs:
+crates/dme/src/embed.rs:
+crates/dme/src/topology.rs:
+crates/dme/src/tree.rs:
+crates/dme/src/trr.rs:

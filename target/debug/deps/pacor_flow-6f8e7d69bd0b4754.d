@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pacor_flow-6f8e7d69bd0b4754.d: crates/flow/src/lib.rs crates/flow/src/escape.rs crates/flow/src/mcf.rs
+
+/root/repo/target/debug/deps/libpacor_flow-6f8e7d69bd0b4754.rlib: crates/flow/src/lib.rs crates/flow/src/escape.rs crates/flow/src/mcf.rs
+
+/root/repo/target/debug/deps/libpacor_flow-6f8e7d69bd0b4754.rmeta: crates/flow/src/lib.rs crates/flow/src/escape.rs crates/flow/src/mcf.rs
+
+crates/flow/src/lib.rs:
+crates/flow/src/escape.rs:
+crates/flow/src/mcf.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pacor_flow-7f504b5ddb7c2e2a.d: crates/flow/src/lib.rs crates/flow/src/escape.rs crates/flow/src/mcf.rs
+
+/root/repo/target/debug/deps/pacor_flow-7f504b5ddb7c2e2a: crates/flow/src/lib.rs crates/flow/src/escape.rs crates/flow/src/mcf.rs
+
+crates/flow/src/lib.rs:
+crates/flow/src/escape.rs:
+crates/flow/src/mcf.rs:

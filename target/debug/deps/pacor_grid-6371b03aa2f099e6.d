@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/pacor_grid-6371b03aa2f099e6.d: crates/grid/src/lib.rs crates/grid/src/analysis.rs crates/grid/src/error.rs crates/grid/src/grid.rs crates/grid/src/obsmap.rs crates/grid/src/overlap.rs crates/grid/src/path.rs crates/grid/src/point.rs crates/grid/src/rect.rs crates/grid/src/rules.rs
+
+/root/repo/target/debug/deps/libpacor_grid-6371b03aa2f099e6.rlib: crates/grid/src/lib.rs crates/grid/src/analysis.rs crates/grid/src/error.rs crates/grid/src/grid.rs crates/grid/src/obsmap.rs crates/grid/src/overlap.rs crates/grid/src/path.rs crates/grid/src/point.rs crates/grid/src/rect.rs crates/grid/src/rules.rs
+
+/root/repo/target/debug/deps/libpacor_grid-6371b03aa2f099e6.rmeta: crates/grid/src/lib.rs crates/grid/src/analysis.rs crates/grid/src/error.rs crates/grid/src/grid.rs crates/grid/src/obsmap.rs crates/grid/src/overlap.rs crates/grid/src/path.rs crates/grid/src/point.rs crates/grid/src/rect.rs crates/grid/src/rules.rs
+
+crates/grid/src/lib.rs:
+crates/grid/src/analysis.rs:
+crates/grid/src/error.rs:
+crates/grid/src/grid.rs:
+crates/grid/src/obsmap.rs:
+crates/grid/src/overlap.rs:
+crates/grid/src/path.rs:
+crates/grid/src/point.rs:
+crates/grid/src/rect.rs:
+crates/grid/src/rules.rs:

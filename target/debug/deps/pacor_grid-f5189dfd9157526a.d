@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pacor_grid-f5189dfd9157526a.d: crates/grid/src/lib.rs crates/grid/src/analysis.rs crates/grid/src/error.rs crates/grid/src/grid.rs crates/grid/src/obsmap.rs crates/grid/src/overlap.rs crates/grid/src/path.rs crates/grid/src/point.rs crates/grid/src/rect.rs crates/grid/src/rules.rs
+
+/root/repo/target/debug/deps/pacor_grid-f5189dfd9157526a: crates/grid/src/lib.rs crates/grid/src/analysis.rs crates/grid/src/error.rs crates/grid/src/grid.rs crates/grid/src/obsmap.rs crates/grid/src/overlap.rs crates/grid/src/path.rs crates/grid/src/point.rs crates/grid/src/rect.rs crates/grid/src/rules.rs
+
+crates/grid/src/lib.rs:
+crates/grid/src/analysis.rs:
+crates/grid/src/error.rs:
+crates/grid/src/grid.rs:
+crates/grid/src/obsmap.rs:
+crates/grid/src/overlap.rs:
+crates/grid/src/path.rs:
+crates/grid/src/point.rs:
+crates/grid/src/rect.rs:
+crates/grid/src/rules.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pacor_repro-3fcca4e2de264239.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpacor_repro-3fcca4e2de264239.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libpacor_repro-3fcca4e2de264239.rmeta: src/lib.rs
+
+src/lib.rs:

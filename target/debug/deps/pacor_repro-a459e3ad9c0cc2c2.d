@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pacor_repro-a459e3ad9c0cc2c2.d: src/lib.rs
+
+/root/repo/target/debug/deps/pacor_repro-a459e3ad9c0cc2c2: src/lib.rs
+
+src/lib.rs:

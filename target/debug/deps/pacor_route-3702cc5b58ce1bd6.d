@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pacor_route-3702cc5b58ce1bd6.d: crates/route/src/lib.rs crates/route/src/astar.rs crates/route/src/bounded.rs crates/route/src/history.rs crates/route/src/negotiation.rs
+
+/root/repo/target/debug/deps/libpacor_route-3702cc5b58ce1bd6.rlib: crates/route/src/lib.rs crates/route/src/astar.rs crates/route/src/bounded.rs crates/route/src/history.rs crates/route/src/negotiation.rs
+
+/root/repo/target/debug/deps/libpacor_route-3702cc5b58ce1bd6.rmeta: crates/route/src/lib.rs crates/route/src/astar.rs crates/route/src/bounded.rs crates/route/src/history.rs crates/route/src/negotiation.rs
+
+crates/route/src/lib.rs:
+crates/route/src/astar.rs:
+crates/route/src/bounded.rs:
+crates/route/src/history.rs:
+crates/route/src/negotiation.rs:

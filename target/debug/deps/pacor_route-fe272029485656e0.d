@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pacor_route-fe272029485656e0.d: crates/route/src/lib.rs crates/route/src/astar.rs crates/route/src/bounded.rs crates/route/src/history.rs crates/route/src/negotiation.rs
+
+/root/repo/target/debug/deps/pacor_route-fe272029485656e0: crates/route/src/lib.rs crates/route/src/astar.rs crates/route/src/bounded.rs crates/route/src/history.rs crates/route/src/negotiation.rs
+
+crates/route/src/lib.rs:
+crates/route/src/astar.rs:
+crates/route/src/bounded.rs:
+crates/route/src/history.rs:
+crates/route/src/negotiation.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pacor_valves-4f4d39aca91fab4a.d: crates/valves/src/lib.rs crates/valves/src/addressing.rs crates/valves/src/cluster.rs crates/valves/src/compat.rs crates/valves/src/schedule.rs crates/valves/src/sequence.rs crates/valves/src/valve.rs
+
+/root/repo/target/debug/deps/pacor_valves-4f4d39aca91fab4a: crates/valves/src/lib.rs crates/valves/src/addressing.rs crates/valves/src/cluster.rs crates/valves/src/compat.rs crates/valves/src/schedule.rs crates/valves/src/sequence.rs crates/valves/src/valve.rs
+
+crates/valves/src/lib.rs:
+crates/valves/src/addressing.rs:
+crates/valves/src/cluster.rs:
+crates/valves/src/compat.rs:
+crates/valves/src/schedule.rs:
+crates/valves/src/sequence.rs:
+crates/valves/src/valve.rs:

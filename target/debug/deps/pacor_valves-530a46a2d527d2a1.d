@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pacor_valves-530a46a2d527d2a1.d: crates/valves/src/lib.rs crates/valves/src/addressing.rs crates/valves/src/cluster.rs crates/valves/src/compat.rs crates/valves/src/schedule.rs crates/valves/src/sequence.rs crates/valves/src/valve.rs
+
+/root/repo/target/debug/deps/libpacor_valves-530a46a2d527d2a1.rlib: crates/valves/src/lib.rs crates/valves/src/addressing.rs crates/valves/src/cluster.rs crates/valves/src/compat.rs crates/valves/src/schedule.rs crates/valves/src/sequence.rs crates/valves/src/valve.rs
+
+/root/repo/target/debug/deps/libpacor_valves-530a46a2d527d2a1.rmeta: crates/valves/src/lib.rs crates/valves/src/addressing.rs crates/valves/src/cluster.rs crates/valves/src/compat.rs crates/valves/src/schedule.rs crates/valves/src/sequence.rs crates/valves/src/valve.rs
+
+crates/valves/src/lib.rs:
+crates/valves/src/addressing.rs:
+crates/valves/src/cluster.rs:
+crates/valves/src/compat.rs:
+crates/valves/src/schedule.rs:
+crates/valves/src/sequence.rs:
+crates/valves/src/valve.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-01f68d5549ba8ceb.d: crates/flow/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-01f68d5549ba8ceb: crates/flow/tests/properties.rs
+
+crates/flow/tests/properties.rs:

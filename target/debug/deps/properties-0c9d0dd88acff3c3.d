@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-0c9d0dd88acff3c3.d: crates/clique/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-0c9d0dd88acff3c3: crates/clique/tests/properties.rs
+
+crates/clique/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-6461b302b17100c0.d: crates/grid/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-6461b302b17100c0: crates/grid/tests/properties.rs
+
+crates/grid/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-9d90f0fd761f1c2f.d: crates/route/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-9d90f0fd761f1c2f: crates/route/tests/properties.rs
+
+crates/route/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-e29ba469938867d9.d: crates/dme/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-e29ba469938867d9: crates/dme/tests/properties.rs
+
+crates/dme/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-eb735686b82c4bdf.d: crates/valves/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-eb735686b82c4bdf: crates/valves/tests/properties.rs
+
+crates/valves/tests/properties.rs:

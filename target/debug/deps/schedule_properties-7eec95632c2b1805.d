@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/schedule_properties-7eec95632c2b1805.d: crates/valves/tests/schedule_properties.rs
+
+/root/repo/target/debug/deps/schedule_properties-7eec95632c2b1805: crates/valves/tests/schedule_properties.rs
+
+crates/valves/tests/schedule_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serialization-3501efca96413def.d: tests/serialization.rs
+
+/root/repo/target/debug/deps/serialization-3501efca96413def: tests/serialization.rs
+
+tests/serialization.rs:

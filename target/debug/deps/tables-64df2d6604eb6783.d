@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables-64df2d6604eb6783.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/debug/deps/tables-64df2d6604eb6783: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

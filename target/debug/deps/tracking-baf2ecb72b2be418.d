@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tracking-baf2ecb72b2be418.d: tests/tracking.rs
+
+/root/repo/target/debug/deps/tracking-baf2ecb72b2be418: tests/tracking.rs
+
+tests/tracking.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/assay_pipeline-4420c97be9cbe8be.d: examples/assay_pipeline.rs
+
+/root/repo/target/debug/examples/assay_pipeline-4420c97be9cbe8be: examples/assay_pipeline.rs
+
+examples/assay_pipeline.rs:

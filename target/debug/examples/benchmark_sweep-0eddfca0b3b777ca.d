@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/benchmark_sweep-0eddfca0b3b777ca.d: examples/benchmark_sweep.rs
+
+/root/repo/target/debug/examples/benchmark_sweep-0eddfca0b3b777ca: examples/benchmark_sweep.rs
+
+examples/benchmark_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dme_candidates-473708a3cf8063b5.d: examples/dme_candidates.rs
+
+/root/repo/target/debug/examples/dme_candidates-473708a3cf8063b5: examples/dme_candidates.rs
+
+examples/dme_candidates.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mixer_chip-283328dfde97e7f5.d: examples/mixer_chip.rs
+
+/root/repo/target/debug/examples/mixer_chip-283328dfde97e7f5: examples/mixer_chip.rs
+
+examples/mixer_chip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-4d8ac85bb77709f2.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-4d8ac85bb77709f2: examples/quickstart.rs
+
+examples/quickstart.rs:

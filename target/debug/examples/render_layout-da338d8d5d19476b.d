@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/render_layout-da338d8d5d19476b.d: examples/render_layout.rs
+
+/root/repo/target/debug/examples/render_layout-da338d8d5d19476b: examples/render_layout.rs
+
+examples/render_layout.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chips-abda338cccad5695.d: tests/chips.rs
+
+/root/repo/target/release/deps/chips-abda338cccad5695: tests/chips.rs
+
+tests/chips.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cli-bd5893ac3c828ca5.d: tests/cli.rs
+
+/root/repo/target/release/deps/cli-bd5893ac3c828ca5: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_pacor-cli=/root/repo/target/release/pacor-cli

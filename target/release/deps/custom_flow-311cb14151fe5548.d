@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/custom_flow-311cb14151fe5548.d: tests/custom_flow.rs
+
+/root/repo/target/release/deps/custom_flow-311cb14151fe5548: tests/custom_flow.rs
+
+tests/custom_flow.rs:

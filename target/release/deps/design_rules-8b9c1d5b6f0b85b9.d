@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/design_rules-8b9c1d5b6f0b85b9.d: tests/design_rules.rs
+
+/root/repo/target/release/deps/design_rules-8b9c1d5b6f0b85b9: tests/design_rules.rs
+
+tests/design_rules.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/failure_injection-e5ff571c93fac084.d: tests/failure_injection.rs
+
+/root/repo/target/release/deps/failure_injection-e5ff571c93fac084: tests/failure_injection.rs
+
+tests/failure_injection.rs:

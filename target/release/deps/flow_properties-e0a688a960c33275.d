@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/flow_properties-e0a688a960c33275.d: tests/flow_properties.rs
+
+/root/repo/target/release/deps/flow_properties-e0a688a960c33275: tests/flow_properties.rs
+
+tests/flow_properties.rs:

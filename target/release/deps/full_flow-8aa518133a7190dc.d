@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/full_flow-8aa518133a7190dc.d: tests/full_flow.rs
+
+/root/repo/target/release/deps/full_flow-8aa518133a7190dc: tests/full_flow.rs
+
+tests/full_flow.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/pacor-18be89aa402a6a1d.d: crates/core/src/lib.rs crates/core/src/bench_suite.rs crates/core/src/config.rs crates/core/src/detour.rs crates/core/src/error.rs crates/core/src/escape_stage.rs crates/core/src/flow.rs crates/core/src/lm_routing.rs crates/core/src/mst_routing.rs crates/core/src/physics.rs crates/core/src/problem.rs crates/core/src/render.rs crates/core/src/report.rs crates/core/src/routed.rs crates/core/src/verify.rs
+
+/root/repo/target/release/deps/libpacor-18be89aa402a6a1d.rlib: crates/core/src/lib.rs crates/core/src/bench_suite.rs crates/core/src/config.rs crates/core/src/detour.rs crates/core/src/error.rs crates/core/src/escape_stage.rs crates/core/src/flow.rs crates/core/src/lm_routing.rs crates/core/src/mst_routing.rs crates/core/src/physics.rs crates/core/src/problem.rs crates/core/src/render.rs crates/core/src/report.rs crates/core/src/routed.rs crates/core/src/verify.rs
+
+/root/repo/target/release/deps/libpacor-18be89aa402a6a1d.rmeta: crates/core/src/lib.rs crates/core/src/bench_suite.rs crates/core/src/config.rs crates/core/src/detour.rs crates/core/src/error.rs crates/core/src/escape_stage.rs crates/core/src/flow.rs crates/core/src/lm_routing.rs crates/core/src/mst_routing.rs crates/core/src/physics.rs crates/core/src/problem.rs crates/core/src/render.rs crates/core/src/report.rs crates/core/src/routed.rs crates/core/src/verify.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bench_suite.rs:
+crates/core/src/config.rs:
+crates/core/src/detour.rs:
+crates/core/src/error.rs:
+crates/core/src/escape_stage.rs:
+crates/core/src/flow.rs:
+crates/core/src/lm_routing.rs:
+crates/core/src/mst_routing.rs:
+crates/core/src/physics.rs:
+crates/core/src/problem.rs:
+crates/core/src/render.rs:
+crates/core/src/report.rs:
+crates/core/src/routed.rs:
+crates/core/src/verify.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pacor_cli-025874d659076e9a.d: src/bin/pacor_cli.rs
+
+/root/repo/target/release/deps/pacor_cli-025874d659076e9a: src/bin/pacor_cli.rs
+
+src/bin/pacor_cli.rs:

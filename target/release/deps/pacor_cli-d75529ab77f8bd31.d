@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pacor_cli-d75529ab77f8bd31.d: src/bin/pacor_cli.rs
+
+/root/repo/target/release/deps/pacor_cli-d75529ab77f8bd31: src/bin/pacor_cli.rs
+
+src/bin/pacor_cli.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/pacor_clique-71839be03f7cafaf.d: crates/clique/src/lib.rs crates/clique/src/annealing.rs crates/clique/src/bitset.rs crates/clique/src/exact.rs crates/clique/src/graph.rs crates/clique/src/greedy.rs crates/clique/src/local_search.rs crates/clique/src/selection.rs
+
+/root/repo/target/release/deps/libpacor_clique-71839be03f7cafaf.rlib: crates/clique/src/lib.rs crates/clique/src/annealing.rs crates/clique/src/bitset.rs crates/clique/src/exact.rs crates/clique/src/graph.rs crates/clique/src/greedy.rs crates/clique/src/local_search.rs crates/clique/src/selection.rs
+
+/root/repo/target/release/deps/libpacor_clique-71839be03f7cafaf.rmeta: crates/clique/src/lib.rs crates/clique/src/annealing.rs crates/clique/src/bitset.rs crates/clique/src/exact.rs crates/clique/src/graph.rs crates/clique/src/greedy.rs crates/clique/src/local_search.rs crates/clique/src/selection.rs
+
+crates/clique/src/lib.rs:
+crates/clique/src/annealing.rs:
+crates/clique/src/bitset.rs:
+crates/clique/src/exact.rs:
+crates/clique/src/graph.rs:
+crates/clique/src/greedy.rs:
+crates/clique/src/local_search.rs:
+crates/clique/src/selection.rs:

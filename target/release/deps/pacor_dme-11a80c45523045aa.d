@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/pacor_dme-11a80c45523045aa.d: crates/dme/src/lib.rs crates/dme/src/candidates.rs crates/dme/src/embed.rs crates/dme/src/topology.rs crates/dme/src/tree.rs crates/dme/src/trr.rs
+
+/root/repo/target/release/deps/libpacor_dme-11a80c45523045aa.rlib: crates/dme/src/lib.rs crates/dme/src/candidates.rs crates/dme/src/embed.rs crates/dme/src/topology.rs crates/dme/src/tree.rs crates/dme/src/trr.rs
+
+/root/repo/target/release/deps/libpacor_dme-11a80c45523045aa.rmeta: crates/dme/src/lib.rs crates/dme/src/candidates.rs crates/dme/src/embed.rs crates/dme/src/topology.rs crates/dme/src/tree.rs crates/dme/src/trr.rs
+
+crates/dme/src/lib.rs:
+crates/dme/src/candidates.rs:
+crates/dme/src/embed.rs:
+crates/dme/src/topology.rs:
+crates/dme/src/tree.rs:
+crates/dme/src/trr.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/pacor_flow-a53b0e8332fe7c6c.d: crates/flow/src/lib.rs crates/flow/src/escape.rs crates/flow/src/mcf.rs
+
+/root/repo/target/release/deps/libpacor_flow-a53b0e8332fe7c6c.rlib: crates/flow/src/lib.rs crates/flow/src/escape.rs crates/flow/src/mcf.rs
+
+/root/repo/target/release/deps/libpacor_flow-a53b0e8332fe7c6c.rmeta: crates/flow/src/lib.rs crates/flow/src/escape.rs crates/flow/src/mcf.rs
+
+crates/flow/src/lib.rs:
+crates/flow/src/escape.rs:
+crates/flow/src/mcf.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/pacor_grid-f26885014fa60972.d: crates/grid/src/lib.rs crates/grid/src/analysis.rs crates/grid/src/error.rs crates/grid/src/grid.rs crates/grid/src/obsmap.rs crates/grid/src/overlap.rs crates/grid/src/path.rs crates/grid/src/point.rs crates/grid/src/rect.rs crates/grid/src/rules.rs
+
+/root/repo/target/release/deps/libpacor_grid-f26885014fa60972.rlib: crates/grid/src/lib.rs crates/grid/src/analysis.rs crates/grid/src/error.rs crates/grid/src/grid.rs crates/grid/src/obsmap.rs crates/grid/src/overlap.rs crates/grid/src/path.rs crates/grid/src/point.rs crates/grid/src/rect.rs crates/grid/src/rules.rs
+
+/root/repo/target/release/deps/libpacor_grid-f26885014fa60972.rmeta: crates/grid/src/lib.rs crates/grid/src/analysis.rs crates/grid/src/error.rs crates/grid/src/grid.rs crates/grid/src/obsmap.rs crates/grid/src/overlap.rs crates/grid/src/path.rs crates/grid/src/point.rs crates/grid/src/rect.rs crates/grid/src/rules.rs
+
+crates/grid/src/lib.rs:
+crates/grid/src/analysis.rs:
+crates/grid/src/error.rs:
+crates/grid/src/grid.rs:
+crates/grid/src/obsmap.rs:
+crates/grid/src/overlap.rs:
+crates/grid/src/path.rs:
+crates/grid/src/point.rs:
+crates/grid/src/rect.rs:
+crates/grid/src/rules.rs:

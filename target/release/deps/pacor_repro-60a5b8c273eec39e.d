@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pacor_repro-60a5b8c273eec39e.d: src/lib.rs
+
+/root/repo/target/release/deps/pacor_repro-60a5b8c273eec39e: src/lib.rs
+
+src/lib.rs:

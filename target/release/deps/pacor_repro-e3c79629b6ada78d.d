@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pacor_repro-e3c79629b6ada78d.d: src/lib.rs
+
+/root/repo/target/release/deps/libpacor_repro-e3c79629b6ada78d.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libpacor_repro-e3c79629b6ada78d.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/pacor_route-2df36af80050a72f.d: crates/route/src/lib.rs crates/route/src/astar.rs crates/route/src/bounded.rs crates/route/src/history.rs crates/route/src/negotiation.rs
+
+/root/repo/target/release/deps/libpacor_route-2df36af80050a72f.rlib: crates/route/src/lib.rs crates/route/src/astar.rs crates/route/src/bounded.rs crates/route/src/history.rs crates/route/src/negotiation.rs
+
+/root/repo/target/release/deps/libpacor_route-2df36af80050a72f.rmeta: crates/route/src/lib.rs crates/route/src/astar.rs crates/route/src/bounded.rs crates/route/src/history.rs crates/route/src/negotiation.rs
+
+crates/route/src/lib.rs:
+crates/route/src/astar.rs:
+crates/route/src/bounded.rs:
+crates/route/src/history.rs:
+crates/route/src/negotiation.rs:

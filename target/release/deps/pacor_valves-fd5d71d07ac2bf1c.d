@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/pacor_valves-fd5d71d07ac2bf1c.d: crates/valves/src/lib.rs crates/valves/src/addressing.rs crates/valves/src/cluster.rs crates/valves/src/compat.rs crates/valves/src/schedule.rs crates/valves/src/sequence.rs crates/valves/src/valve.rs
+
+/root/repo/target/release/deps/libpacor_valves-fd5d71d07ac2bf1c.rlib: crates/valves/src/lib.rs crates/valves/src/addressing.rs crates/valves/src/cluster.rs crates/valves/src/compat.rs crates/valves/src/schedule.rs crates/valves/src/sequence.rs crates/valves/src/valve.rs
+
+/root/repo/target/release/deps/libpacor_valves-fd5d71d07ac2bf1c.rmeta: crates/valves/src/lib.rs crates/valves/src/addressing.rs crates/valves/src/cluster.rs crates/valves/src/compat.rs crates/valves/src/schedule.rs crates/valves/src/sequence.rs crates/valves/src/valve.rs
+
+crates/valves/src/lib.rs:
+crates/valves/src/addressing.rs:
+crates/valves/src/cluster.rs:
+crates/valves/src/compat.rs:
+crates/valves/src/schedule.rs:
+crates/valves/src/sequence.rs:
+crates/valves/src/valve.rs:

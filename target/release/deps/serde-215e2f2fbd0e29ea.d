@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-215e2f2fbd0e29ea.d: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-215e2f2fbd0e29ea.rlib: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-215e2f2fbd0e29ea.rmeta: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-41683c5e0c6a6a6e.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-41683c5e0c6a6a6e.rlib: shims/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-41683c5e0c6a6a6e.rmeta: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

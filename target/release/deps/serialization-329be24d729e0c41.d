@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serialization-329be24d729e0c41.d: tests/serialization.rs
+
+/root/repo/target/release/deps/serialization-329be24d729e0c41: tests/serialization.rs
+
+tests/serialization.rs:

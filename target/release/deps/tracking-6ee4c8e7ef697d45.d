@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tracking-6ee4c8e7ef697d45.d: tests/tracking.rs
+
+/root/repo/target/release/deps/tracking-6ee4c8e7ef697d45: tests/tracking.rs
+
+tests/tracking.rs:

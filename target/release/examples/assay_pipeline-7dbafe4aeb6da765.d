@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/assay_pipeline-7dbafe4aeb6da765.d: examples/assay_pipeline.rs
+
+/root/repo/target/release/examples/assay_pipeline-7dbafe4aeb6da765: examples/assay_pipeline.rs
+
+examples/assay_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/benchmark_sweep-736712bf327e8ee6.d: examples/benchmark_sweep.rs
+
+/root/repo/target/release/examples/benchmark_sweep-736712bf327e8ee6: examples/benchmark_sweep.rs
+
+examples/benchmark_sweep.rs:

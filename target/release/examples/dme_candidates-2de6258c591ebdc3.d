@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/dme_candidates-2de6258c591ebdc3.d: examples/dme_candidates.rs
+
+/root/repo/target/release/examples/dme_candidates-2de6258c591ebdc3: examples/dme_candidates.rs
+
+examples/dme_candidates.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/mixer_chip-0804df410b7fea73.d: examples/mixer_chip.rs
+
+/root/repo/target/release/examples/mixer_chip-0804df410b7fea73: examples/mixer_chip.rs
+
+examples/mixer_chip.rs:

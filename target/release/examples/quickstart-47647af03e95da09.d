@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-47647af03e95da09.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-47647af03e95da09: examples/quickstart.rs
+
+examples/quickstart.rs:

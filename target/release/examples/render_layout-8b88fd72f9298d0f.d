@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/render_layout-8b88fd72f9298d0f.d: examples/render_layout.rs
+
+/root/repo/target/release/examples/render_layout-8b88fd72f9298d0f: examples/render_layout.rs
+
+examples/render_layout.rs:
