@@ -1,0 +1,23 @@
+# Convenience targets for the PACOR reproduction workspace.
+
+CARGO ?= cargo
+
+.PHONY: verify build test clippy bench tables
+
+# The acceptance gate: release build, full test suite, zero-warning lints.
+verify: build test clippy
+
+build:
+	$(CARGO) build --release --workspace
+
+test:
+	$(CARGO) test -q --workspace
+
+clippy:
+	$(CARGO) clippy --workspace --all-targets -- -D warnings
+
+bench:
+	$(CARGO) bench -p pacor-bench --bench kernels
+
+tables:
+	$(CARGO) run --release -p pacor-bench --bin tables -- all

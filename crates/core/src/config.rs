@@ -59,6 +59,11 @@ pub struct FlowConfig {
     pub exact_selection_limit: usize,
     /// DFS node budget per exact-length attempt in the bounded router.
     pub detour_node_budget: u64,
+    /// Worker threads for the data-parallel stages (DME candidate
+    /// generation, MWCP pair scoring). Results are merged in fixed
+    /// cluster order, so any value yields bit-identical routing; 1
+    /// disables the fan-out entirely.
+    pub thread_count: usize,
 }
 
 impl Default for FlowConfig {
@@ -74,6 +79,7 @@ impl Default for FlowConfig {
             max_candidates: 6,
             exact_selection_limit: 128,
             detour_node_budget: 200_000,
+            thread_count: 1,
         }
     }
 }
@@ -85,6 +91,13 @@ impl FlowConfig {
             variant,
             ..Self::default()
         }
+    }
+
+    /// Sets the worker-thread count for the data-parallel stages
+    /// (0 is treated as 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.thread_count = threads.max(1);
+        self
     }
 }
 
@@ -101,6 +114,7 @@ mod tests {
         assert_eq!(c.history_base, 1.0);
         assert_eq!(c.history_alpha, 0.1);
         assert_eq!(c.theta, 10);
+        assert_eq!(c.thread_count, 1, "parallelism is opt-in");
     }
 
     #[test]

@@ -105,6 +105,9 @@ impl PacorFlow {
         let stage = Instant::now();
         let lm_out = route_lm_clusters(&mut obs, lm_input, &self.config);
         timings.lm_routing = stage.elapsed();
+        timings.threads = crate::effective_threads(self.config.thread_count);
+        timings.lm_candidate_tasks = lm_out.candidate_tasks;
+        timings.lm_scoring_tasks = lm_out.scoring_tasks;
         let mut routed: Vec<RoutedCluster> = lm_out.routed;
 
         // ---- Stage 3: MST routing (ordinary + failed LM clusters) -----

@@ -45,6 +45,7 @@ mod escape_stage;
 mod flow;
 mod lm_routing;
 mod mst_routing;
+mod parallel;
 mod physics;
 mod problem;
 mod render;
@@ -66,6 +67,7 @@ pub use config::{FlowConfig, FlowVariant};
 pub use detour::detour_cluster;
 pub use error::FlowError;
 pub use flow::PacorFlow;
+pub use parallel::{effective_threads, parallel_map};
 pub use physics::PropagationModel;
 pub use problem::{Problem, ProblemBuilder};
 pub use render::{render_ascii, render_svg};

@@ -1,6 +1,7 @@
 //! Length-matching cluster routing (Section 4): candidate construction,
 //! MWCP selection, negotiation-based wiring.
 
+use crate::parallel::{effective_threads, parallel_map};
 use crate::{FlowConfig, FlowVariant, RoutedCluster, RoutedKind};
 use pacor_clique::{select_one_per_group, SelectionInstance};
 use pacor_dme::{candidates, candidates_with_alternates, CandidateConfig, SteinerTree};
@@ -17,6 +18,12 @@ pub struct LmOutcome {
     /// Clusters that could not be routed under the constraint; the caller
     /// re-routes them as ordinary clusters (paper Section 7).
     pub failed: Vec<(Cluster, Vec<Point>)>,
+    /// Work items fanned out to the candidate-generation threads
+    /// (one per ≥3-valve cluster).
+    pub candidate_tasks: usize,
+    /// Work items fanned out to the MWCP pair-scoring threads
+    /// (one per cluster pair).
+    pub scoring_tasks: usize,
 }
 
 /// Routes all length-matching clusters.
@@ -33,29 +40,40 @@ pub fn route_lm_clusters(
     clusters: Vec<(Cluster, Vec<Point>)>,
     config: &FlowConfig,
 ) -> LmOutcome {
-    // Phase 1: candidates for every ≥3-valve cluster.
-    let mut tree_clusters: Vec<(usize, Vec<SteinerTree>)> = Vec::new();
-    for (i, (cluster, positions)) in clusters.iter().enumerate() {
-        if cluster.len() >= 3 {
+    // Phase 1: candidates for every ≥3-valve cluster. Generation is
+    // independent per cluster (the obstacle map is only read), so it
+    // fans out over the worker threads; merging by cluster index keeps
+    // the result identical to the sequential loop.
+    let big: Vec<(usize, &[Point])> = clusters
+        .iter()
+        .enumerate()
+        .filter(|(_, (cluster, _))| cluster.len() >= 3)
+        .map(|(i, (_, positions))| (i, positions.as_slice()))
+        .collect();
+    let candidate_tasks = big.len();
+    let threads = effective_threads(config.thread_count);
+    let obs_read: &ObsMap = obs;
+    let tree_clusters: Vec<(usize, Vec<SteinerTree>)> =
+        parallel_map(threads, &big, |_, &(i, positions)| {
             let cands = candidates(
                 positions,
-                Some(obs),
+                Some(obs_read),
                 CandidateConfig {
                     max_candidates: config.max_candidates,
                     ..CandidateConfig::default()
                 },
             );
-            tree_clusters.push((i, cands));
-        }
-    }
+            (i, cands)
+        });
 
     // Phase 2: selection (Eqs. 2–4) or first-candidate.
+    let mut scoring_tasks = 0usize;
     let selected: Vec<(usize, SteinerTree)> = match config.variant {
         FlowVariant::WithoutSelection => tree_clusters
             .iter()
             .map(|(i, c)| (*i, c[0].clone()))
             .collect(),
-        _ => select_trees(&tree_clusters, config),
+        _ => select_trees(&tree_clusters, config, &mut scoring_tasks),
     };
 
     // Phase 3: negotiation routing of all cluster edges together, dropping
@@ -157,7 +175,12 @@ pub fn route_lm_clusters(
         .into_iter()
         .map(|i| clusters[i].clone())
         .collect();
-    LmOutcome { routed, failed }
+    LmOutcome {
+        routed,
+        failed,
+        candidate_tasks,
+        scoring_tasks,
+    }
 }
 
 /// Re-routes a single length-matching cluster in the current obstacle
@@ -175,9 +198,16 @@ pub fn reroute_lm_cluster(
 }
 
 /// Candidate Steiner tree selection via the MWCP (Section 4.2).
+///
+/// `scoring_tasks` reports how many cluster-pair scoring items were
+/// fanned out (for the stage's parallelism accounting).
+/// A scored candidate pair: (group, candidate) × 2 plus the `Co` cost.
+type PairCost = ((usize, usize), (usize, usize), f64);
+
 fn select_trees(
     tree_clusters: &[(usize, Vec<SteinerTree>)],
     config: &FlowConfig,
+    scoring_tasks: &mut usize,
 ) -> Vec<(usize, SteinerTree)> {
     if tree_clusters.is_empty() {
         return Vec::new();
@@ -203,26 +233,32 @@ fn select_trees(
     let mut inst = SelectionInstance::new(groups);
 
     // Pair costs: Co = −(1−λ) · Σ olcost over edge pairs (Eqs. 3–4).
-    for ga in 0..tree_clusters.len() {
-        for gb in (ga + 1)..tree_clusters.len() {
-            for (ia, ta) in tree_clusters[ga].1.iter().enumerate() {
-                for (ib, tb) in tree_clusters[gb].1.iter().enumerate() {
-                    let mut overlap = 0.0;
-                    for ea in ta.edges() {
-                        for eb in tb.edges() {
-                            overlap += olcost(ea, eb);
-                        }
+    // Each cluster pair is an independent scoring task; the instance is
+    // populated afterwards in pair order, so the fan-out does not
+    // change which costs get added or in what order.
+    let pairs: Vec<(usize, usize)> = (0..tree_clusters.len())
+        .flat_map(|ga| ((ga + 1)..tree_clusters.len()).map(move |gb| (ga, gb)))
+        .collect();
+    *scoring_tasks = pairs.len();
+    let scored = parallel_map(effective_threads(config.thread_count), &pairs, |_, &(ga, gb)| {
+        let mut costs: Vec<PairCost> = Vec::new();
+        for (ia, ta) in tree_clusters[ga].1.iter().enumerate() {
+            for (ib, tb) in tree_clusters[gb].1.iter().enumerate() {
+                let mut overlap = 0.0;
+                for ea in ta.edges() {
+                    for eb in tb.edges() {
+                        overlap += olcost(ea, eb);
                     }
-                    if overlap > 0.0 {
-                        inst.add_pair_cost(
-                            (ga, ia),
-                            (gb, ib),
-                            -(1.0 - config.lambda) * overlap,
-                        );
-                    }
+                }
+                if overlap > 0.0 {
+                    costs.push(((ga, ia), (gb, ib), -(1.0 - config.lambda) * overlap));
                 }
             }
         }
+        costs
+    });
+    for (a, b, cost) in scored.into_iter().flatten() {
+        inst.add_pair_cost(a, b, cost);
     }
 
     let sel = select_one_per_group(&inst, config.exact_selection_limit);

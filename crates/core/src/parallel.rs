@@ -1,0 +1,125 @@
+//! Deterministic scoped-thread fan-out.
+//!
+//! The flow's data-parallel stages (DME candidate generation, MWCP
+//! pair scoring) fan work out through [`parallel_map`]: scoped worker
+//! threads claim items off a shared atomic counter and the results are
+//! merged back **by item index**, so the output vector is identical to
+//! the sequential map at any thread count. Determinism therefore needs
+//! nothing from the workers beyond the mapped function itself being
+//! pure — scheduling order never leaks into the result.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// Caps a requested thread count at the host's available parallelism.
+///
+/// Fanning out wider than the hardware cannot win — the workers just
+/// timeslice one another plus pay spawn overhead — so the flow routes
+/// its [`FlowConfig::thread_count`](crate::FlowConfig) through this
+/// before fanning out. Results are unaffected either way (the merge is
+/// index-ordered); only wall-clock time is.
+pub fn effective_threads(requested: usize) -> usize {
+    let hardware = thread::available_parallelism().map_or(1, |n| n.get());
+    requested.clamp(1, hardware)
+}
+
+/// Maps `f` over `items` on up to `threads` scoped worker threads,
+/// returning results in item order.
+///
+/// `f` receives `(index, &item)`. With `threads <= 1` or fewer than two
+/// items the map runs inline on the caller's thread — the parallel path
+/// produces the exact same vector, just wall-clock faster.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the scope joins all workers first).
+pub fn parallel_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let workers = threads.min(items.len());
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut produced = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        produced.push((i, f(i, &items[i])));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, r) in handle.join().expect("parallel_map worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|r| r.expect("every item is claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn preserves_item_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = parallel_map(4, &items, |i, &x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn matches_sequential_at_any_thread_count() {
+        let items: Vec<u64> = (0..37).map(|i| i * 17 % 23).collect();
+        let work = |_: usize, &x: &u64| -> u64 {
+            // Uneven per-item cost, so workers interleave differently
+            // from run to run.
+            (0..x * 50).fold(x, |acc, k| acc.wrapping_mul(31).wrapping_add(k))
+        };
+        let sequential = parallel_map(1, &items, work);
+        for threads in [2, 3, 4, 8] {
+            assert_eq!(parallel_map(threads, &items, work), sequential);
+        }
+    }
+
+    #[test]
+    fn runs_every_item_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let items: Vec<i32> = (0..64).collect();
+        let out = parallel_map(5, &items, |_, &x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(out.len(), 64);
+        assert_eq!(calls.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn handles_degenerate_inputs() {
+        let empty: Vec<u8> = vec![];
+        assert!(parallel_map(4, &empty, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(0, &[7u8], |_, &x| x), vec![7]);
+        assert_eq!(parallel_map(16, &[1u8, 2], |_, &x| x + 1), vec![2, 3]);
+    }
+}

@@ -19,6 +19,15 @@ pub struct StageTimings {
     pub escape: Duration,
     /// Stage 6 (or 3.5 for Detour-First): path detouring.
     pub detour: Duration,
+    /// Worker threads configured for the data-parallel stages
+    /// ([`FlowConfig::thread_count`](crate::FlowConfig), floored at 1).
+    pub threads: usize,
+    /// Work items fanned out during DME candidate generation (one per
+    /// ≥3-valve length-matching cluster, over all negotiation rounds).
+    pub lm_candidate_tasks: usize,
+    /// Work items fanned out during MWCP pair scoring (one per cluster
+    /// pair, over all negotiation rounds).
+    pub lm_scoring_tasks: usize,
 }
 
 /// Per-cluster routing result.

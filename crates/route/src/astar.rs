@@ -1,14 +1,129 @@
 //! A\* search over the routing grid: point-to-point, point-to-path and
 //! path-to-path modes.
+//!
+//! Two kernels back the public API:
+//!
+//! * the **flat-array kernel** ([`AStar::route_with_scratch`]) keeps
+//!   g-scores, parents and visited/target marks in grid-indexed vectors
+//!   inside a reusable [`AStarScratch`], invalidated in O(1) between
+//!   queries by a generation counter. Unit-cost searches use a bucket
+//!   queue indexed by the f-score (f only grows under the consistent
+//!   Manhattan heuristic); history-weighted searches keep a binary heap
+//!   because fractional penalties break the bucket structure.
+//! * the **reference kernel** ([`AStar::route_reference`]) is the
+//!   original `HashMap`/`BinaryHeap` implementation, kept as the
+//!   executable specification for equivalence tests and benchmarks.
+//!
+//! Both kernels expand cells in the exact same order — ties on f are
+//! broken by smaller g, then smaller [`Point`] (x, then y) — so they
+//! return bit-identical paths, not merely equal-cost ones.
 
 use crate::HistoryCost;
 use pacor_grid::{GridPath, ObsMap, Point};
+use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 
 /// Fixed-point scale for fractional history costs inside the integer A\*
 /// priority queue.
 const SCALE: u64 = 1024;
+
+/// "No parent" marker in [`AStarScratch::parent`].
+const NO_PARENT: u32 = u32::MAX;
+
+/// An open-list entry of the bucket queue: candidate cell `idx` with
+/// tentative cost `g`, plus its Point-order `key` for tie-breaking.
+#[derive(Debug, Clone, Copy)]
+struct Open {
+    g: u64,
+    key: u64,
+    idx: u32,
+}
+
+/// Orders like [`Point`]'s derived `Ord` (x, then y) for in-bounds
+/// (non-negative) coordinates.
+#[inline]
+fn point_key(p: Point) -> u64 {
+    ((p.x as u64) << 32) | (p.y as u32 as u64)
+}
+
+/// Reusable per-thread search state for the flat-array A\* kernel.
+///
+/// Allocates grid-sized vectors once and reuses them across queries; a
+/// generation counter makes cross-query invalidation free (a cell's
+/// `g`/`parent` entries are live only when its `stamp` equals the
+/// current generation). Create one per worker thread and feed it to
+/// [`AStar::route_with_scratch`], or use [`AStar::route`] which keeps
+/// one in thread-local storage.
+#[derive(Debug, Default)]
+pub struct AStarScratch {
+    width: usize,
+    height: usize,
+    generation: u32,
+    g: Vec<u64>,
+    parent: Vec<u32>,
+    stamp: Vec<u32>,
+    target_stamp: Vec<u32>,
+    /// Bucket queue for unit-cost searches, indexed by f / SCALE.
+    buckets: Vec<Vec<Open>>,
+    /// Heap for history-weighted searches: `(f, g, point key, idx)`.
+    heap: BinaryHeap<Reverse<(u64, u64, u64, u32)>>,
+}
+
+impl AStarScratch {
+    /// Creates an empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a query over a `width × height` grid: resizes buffers if
+    /// the grid changed and advances the generation counter.
+    fn begin(&mut self, width: usize, height: usize) {
+        if self.width != width || self.height != height {
+            let n = width * height;
+            self.width = width;
+            self.height = height;
+            self.g = vec![0; n];
+            self.parent = vec![NO_PARENT; n];
+            self.stamp = vec![0; n];
+            self.target_stamp = vec![0; n];
+            self.generation = 0;
+        }
+        if self.generation == u32::MAX {
+            // Stamp wrap-around: pay one full clear every 2^32 queries.
+            self.stamp.fill(0);
+            self.target_stamp.fill(0);
+            self.generation = 0;
+        }
+        self.generation += 1;
+        for bucket in &mut self.buckets {
+            bucket.clear();
+        }
+        self.heap.clear();
+    }
+
+    #[inline]
+    fn point_of(&self, idx: usize) -> Point {
+        Point::new((idx % self.width) as i32, (idx / self.width) as i32)
+    }
+
+    /// Follows the parent chain from `idx` back to a source and returns
+    /// the forward (source → target) path.
+    fn reconstruct(&self, mut idx: usize) -> GridPath {
+        let mut cells = vec![self.point_of(idx)];
+        while self.parent[idx] != NO_PARENT {
+            idx = self.parent[idx] as usize;
+            cells.push(self.point_of(idx));
+        }
+        cells.reverse();
+        GridPath::new(cells).expect("A* path is connected")
+    }
+}
+
+thread_local! {
+    /// Per-thread default scratch used by [`AStar::route`].
+    static THREAD_SCRATCH: RefCell<AStarScratch> = RefCell::new(AStarScratch::new());
+}
 
 /// A\* router over an [`ObsMap`].
 ///
@@ -56,7 +171,234 @@ impl<'a> AStar<'a> {
     ///
     /// The returned path starts on a source cell and ends on a target
     /// cell. When a source *is* a target, the result is that single cell.
+    ///
+    /// Runs the flat-array kernel on a thread-local [`AStarScratch`];
+    /// use [`AStar::route_with_scratch`] to manage the scratch yourself.
     pub fn route(&self, sources: &[Point], targets: &[Point]) -> Option<GridPath> {
+        THREAD_SCRATCH.with(|scratch| {
+            self.route_with_scratch(sources, targets, &mut scratch.borrow_mut())
+        })
+    }
+
+    /// [`AStar::route`] with an explicit scratch, for callers that hold
+    /// one per worker thread.
+    ///
+    /// Terminals outside the obstacle map cannot be grid-indexed and
+    /// fall back to the reference kernel (which treats out-of-bounds
+    /// cells as blocked-but-targetable, like any other blocked cell).
+    pub fn route_with_scratch(
+        &self,
+        sources: &[Point],
+        targets: &[Point],
+        scratch: &mut AStarScratch,
+    ) -> Option<GridPath> {
+        if sources.is_empty() || targets.is_empty() {
+            return None;
+        }
+        let width = self.obs.width() as usize;
+        let height = self.obs.height() as usize;
+        let in_bounds = |p: Point| {
+            p.x >= 0 && p.y >= 0 && (p.x as usize) < width && (p.y as usize) < height
+        };
+        if !sources.iter().chain(targets).all(|&p| in_bounds(p)) {
+            return self.route_reference(sources, targets);
+        }
+
+        scratch.begin(width, height);
+        let generation = scratch.generation;
+        let index = |p: Point| p.y as usize * width + p.x as usize;
+
+        for &t in targets {
+            scratch.target_stamp[index(t)] = generation;
+        }
+        for &s in sources {
+            if scratch.target_stamp[index(s)] == generation {
+                return Some(GridPath::singleton(s));
+            }
+        }
+
+        let h = |p: Point| -> u64 {
+            // Admissible: cheapest conceivable remaining cost is one SCALE
+            // per grid step of the nearest target.
+            targets
+                .iter()
+                .map(|&t| p.manhattan(t))
+                .min()
+                .unwrap_or(0)
+                * SCALE
+        };
+
+        for &s in sources {
+            let i = index(s);
+            if scratch.stamp[i] == generation {
+                continue; // duplicate source
+            }
+            scratch.stamp[i] = generation;
+            scratch.g[i] = 0;
+            scratch.parent[i] = NO_PARENT;
+            let f = h(s);
+            match self.history {
+                None => {
+                    let fu = (f / SCALE) as usize;
+                    if fu >= scratch.buckets.len() {
+                        scratch.buckets.resize_with(fu + 1, Vec::new);
+                    }
+                    scratch.buckets[fu].push(Open {
+                        g: 0,
+                        key: point_key(s),
+                        idx: i as u32,
+                    });
+                }
+                Some(_) => scratch.heap.push(Reverse((f, 0, point_key(s), i as u32))),
+            }
+        }
+
+        match self.history {
+            None => self.drain_buckets(scratch, generation, h),
+            Some(_) => self.drain_heap(scratch, generation, h),
+        }
+    }
+
+    /// Unit-cost search: bucket queue keyed by f / SCALE. The Manhattan
+    /// heuristic is consistent, so f never decreases and a single cursor
+    /// sweeps the buckets front to back.
+    fn drain_buckets(
+        &self,
+        scratch: &mut AStarScratch,
+        generation: u32,
+        h: impl Fn(Point) -> u64,
+    ) -> Option<GridPath> {
+        let width = scratch.width;
+        let mut cursor = 0usize;
+        loop {
+            while cursor < scratch.buckets.len() && scratch.buckets[cursor].is_empty() {
+                cursor += 1;
+            }
+            if cursor == scratch.buckets.len() {
+                return None;
+            }
+            // Pop the entry the reference heap would pop: among live
+            // entries of the lowest-f bucket, the smallest (g, Point).
+            // Stale entries (superseded by a better g) are dropped as the
+            // scan passes them, keeping buckets compact.
+            let mut best: Option<(usize, u64, u64)> = None;
+            {
+                let AStarScratch { buckets, g, .. } = scratch;
+                let bucket = &mut buckets[cursor];
+                let mut i = 0;
+                while i < bucket.len() {
+                    let e = bucket[i];
+                    if g[e.idx as usize] < e.g {
+                        bucket.swap_remove(i);
+                        continue;
+                    }
+                    if best.is_none_or(|(_, bg, bk)| (e.g, e.key) < (bg, bk)) {
+                        best = Some((i, e.g, e.key));
+                    }
+                    i += 1;
+                }
+            }
+            let Some((pos, g, _)) = best else {
+                continue; // bucket held only stale entries
+            };
+            let e = scratch.buckets[cursor].swap_remove(pos);
+            let p_idx = e.idx as usize;
+            if scratch.target_stamp[p_idx] == generation {
+                return Some(scratch.reconstruct(p_idx));
+            }
+            let p = scratch.point_of(p_idx);
+            for q in p.neighbors4() {
+                if q.x < 0
+                    || q.y < 0
+                    || (q.x as usize) >= width
+                    || (q.y as usize) >= scratch.height
+                {
+                    continue; // off-map neighbors are never in-bounds targets
+                }
+                let qi = q.y as usize * width + q.x as usize;
+                // Transit must be free; targets are exempt from blockage.
+                if self.obs.is_blocked(q) && scratch.target_stamp[qi] != generation {
+                    continue;
+                }
+                let ng = g + SCALE;
+                let cur = if scratch.stamp[qi] == generation {
+                    scratch.g[qi]
+                } else {
+                    u64::MAX
+                };
+                if ng < cur {
+                    scratch.stamp[qi] = generation;
+                    scratch.g[qi] = ng;
+                    scratch.parent[qi] = p_idx as u32;
+                    let fu = ((ng + h(q)) / SCALE) as usize;
+                    debug_assert!(fu >= cursor, "consistent heuristic keeps f monotone");
+                    if fu >= scratch.buckets.len() {
+                        scratch.buckets.resize_with(fu + 1, Vec::new);
+                    }
+                    scratch.buckets[fu].push(Open {
+                        g: ng,
+                        key: point_key(q),
+                        idx: qi as u32,
+                    });
+                }
+            }
+        }
+    }
+
+    /// History-weighted search: fractional step costs leave the bucket
+    /// grid, so fall back to a heap over `(f, g, point key, idx)` — the
+    /// same ordering as the reference kernel's `(f, g, Point)`.
+    fn drain_heap(
+        &self,
+        scratch: &mut AStarScratch,
+        generation: u32,
+        h: impl Fn(Point) -> u64,
+    ) -> Option<GridPath> {
+        let width = scratch.width;
+        while let Some(Reverse((_, g, _, idx))) = scratch.heap.pop() {
+            let p_idx = idx as usize;
+            if scratch.g[p_idx] < g {
+                continue; // stale entry
+            }
+            if scratch.target_stamp[p_idx] == generation {
+                return Some(scratch.reconstruct(p_idx));
+            }
+            let p = scratch.point_of(p_idx);
+            for q in p.neighbors4() {
+                if q.x < 0
+                    || q.y < 0
+                    || (q.x as usize) >= width
+                    || (q.y as usize) >= scratch.height
+                {
+                    continue;
+                }
+                let qi = q.y as usize * width + q.x as usize;
+                if self.obs.is_blocked(q) && scratch.target_stamp[qi] != generation {
+                    continue;
+                }
+                let ng = g + self.step_cost(q);
+                let cur = if scratch.stamp[qi] == generation {
+                    scratch.g[qi]
+                } else {
+                    u64::MAX
+                };
+                if ng < cur {
+                    scratch.stamp[qi] = generation;
+                    scratch.g[qi] = ng;
+                    scratch.parent[qi] = p_idx as u32;
+                    scratch
+                        .heap
+                        .push(Reverse((ng + h(q), ng, point_key(q), qi as u32)));
+                }
+            }
+        }
+        None
+    }
+
+    /// The original `HashMap`/`HashSet`/`BinaryHeap` kernel, kept as the
+    /// executable specification: equivalence proptests and the kernel
+    /// benchmarks compare the flat-array kernel against it.
+    pub fn route_reference(&self, sources: &[Point], targets: &[Point]) -> Option<GridPath> {
         if sources.is_empty() || targets.is_empty() {
             return None;
         }
@@ -68,8 +410,6 @@ impl<'a> AStar<'a> {
         }
 
         let h = |p: Point| -> u64 {
-            // Admissible: cheapest conceivable remaining cost is one SCALE
-            // per grid step of the nearest target.
             targets
                 .iter()
                 .map(|&t| p.manhattan(t))
@@ -276,5 +616,88 @@ mod tests {
             .unwrap();
         assert_eq!(p.source(), Point::new(8, 8));
         assert_eq!(p.len(), 2);
+    }
+
+    /// A scattering of obstacles that leaves the grid connected.
+    fn peppered(w: u32, h: u32) -> ObsMap {
+        let mut g = Grid::new(w, h).unwrap();
+        for y in 0..h as i32 {
+            for x in 0..w as i32 {
+                // Deterministic pseudo-random sprinkle, ~30% density.
+                if (x * 7 + y * 13) % 10 < 3 && (x + y) % 4 != 0 {
+                    g.set_obstacle(Point::new(x, y));
+                }
+            }
+        }
+        ObsMap::new(&g)
+    }
+
+    #[test]
+    fn kernel_matches_reference_geometry() {
+        let obs = peppered(24, 18);
+        let astar = AStar::new(&obs);
+        let mut scratch = AStarScratch::new();
+        for (s, t) in [
+            (Point::new(0, 0), Point::new(23, 17)),
+            (Point::new(5, 16), Point::new(20, 1)),
+            (Point::new(12, 9), Point::new(12, 9)),
+        ] {
+            let flat = astar.route_with_scratch(&[s], &[t], &mut scratch);
+            let reference = astar.route_reference(&[s], &[t]);
+            assert_eq!(flat, reference, "kernels diverge for {s} -> {t}");
+        }
+    }
+
+    #[test]
+    fn kernel_matches_reference_with_history() {
+        let obs = peppered(20, 20);
+        let mut hist = HistoryCost::new(20, 20);
+        for i in 0..20 {
+            hist.bump(Point::new(i, (i * 3) % 20));
+            hist.bump(Point::new(10, i));
+        }
+        let astar = AStar::with_history(&obs, &hist);
+        let mut scratch = AStarScratch::new();
+        let sources = [Point::new(0, 0), Point::new(19, 0)];
+        let targets = [Point::new(0, 19), Point::new(19, 19)];
+        let flat = astar.route_with_scratch(&sources, &targets, &mut scratch);
+        let reference = astar.route_reference(&sources, &targets);
+        assert_eq!(flat, reference);
+    }
+
+    #[test]
+    fn scratch_reuse_across_grids_and_queries() {
+        let mut scratch = AStarScratch::new();
+        let small = open(6, 6);
+        let large = peppered(30, 10);
+        for _ in 0..3 {
+            let p = AStar::new(&small)
+                .route_with_scratch(&[Point::new(0, 0)], &[Point::new(5, 5)], &mut scratch)
+                .unwrap();
+            assert_eq!(p.len(), 10);
+            let q = AStar::new(&large).route_with_scratch(
+                &[Point::new(0, 0)],
+                &[Point::new(29, 9)],
+                &mut scratch,
+            );
+            assert_eq!(
+                q,
+                AStar::new(&large).route_reference(&[Point::new(0, 0)], &[Point::new(29, 9)])
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_terminals_fall_back() {
+        // The reference kernel treats an out-of-bounds target like any
+        // blocked cell: reachable as an endpoint. The flat kernel must
+        // give the same answer through its fallback.
+        let obs = open(5, 5);
+        let astar = AStar::new(&obs);
+        let oob = Point::new(5, 2); // one column past the right edge
+        let flat = astar.point_to_point(Point::new(0, 2), oob);
+        let reference = astar.route_reference(&[Point::new(0, 2)], &[oob]);
+        assert_eq!(flat, reference);
+        assert_eq!(flat.unwrap().target(), oob);
     }
 }

@@ -37,7 +37,7 @@ mod bounded;
 mod history;
 mod negotiation;
 
-pub use astar::AStar;
+pub use astar::{AStar, AStarScratch};
 pub use bounded::BoundedAStar;
 pub use history::HistoryCost;
 pub use negotiation::{NegotiationOutcome, NegotiationRouter, NetOrdering, RouteRequest};

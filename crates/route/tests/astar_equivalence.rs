@@ -1,0 +1,180 @@
+//! Property tests pinning the flat-array A\* kernel to its references.
+//!
+//! Two oracles, two strengths of claim:
+//!
+//! * against the retained `HashMap` kernel ([`AStar::route_reference`])
+//!   the new kernel must be **bit-identical** — same cells, same order —
+//!   because both break ties the same way (f, then g, then `Point`);
+//! * against an independent textbook Dijkstra (written here, no
+//!   heuristic, no shared code) the returned path must have the same
+//!   **cost** — this guards against both kernels sharing a bug.
+
+use pacor_grid::{Grid, GridPath, ObsMap, Point};
+use pacor_route::{AStar, HistoryCost};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// Mirrors the router's fixed-point scale for history costs.
+const SCALE: u64 = 1024;
+
+fn step_cost(hist: Option<&HistoryCost>, p: Point) -> u64 {
+    match hist {
+        Some(h) => SCALE + (h.cost(p) * SCALE as f64).round() as u64,
+        None => SCALE,
+    }
+}
+
+/// Plain multi-source Dijkstra under the router's rules (targets exempt
+/// from blockage, cost charged on the entered cell). Returns the
+/// minimum total cost, or `None` when unreachable.
+fn dijkstra_cost(
+    obs: &ObsMap,
+    hist: Option<&HistoryCost>,
+    sources: &[Point],
+    targets: &[Point],
+) -> Option<u64> {
+    let target_set: HashSet<Point> = targets.iter().copied().collect();
+    for &s in sources {
+        if target_set.contains(&s) {
+            return Some(0);
+        }
+    }
+    let mut dist: HashMap<Point, u64> = sources.iter().map(|&s| (s, 0)).collect();
+    let mut heap: BinaryHeap<Reverse<(u64, Point)>> =
+        sources.iter().map(|&s| Reverse((0, s))).collect();
+    while let Some(Reverse((d, p))) = heap.pop() {
+        if dist.get(&p).is_some_and(|&best| best < d) {
+            continue;
+        }
+        if target_set.contains(&p) {
+            return Some(d);
+        }
+        for q in p.neighbors4() {
+            if obs.is_blocked(q) && !target_set.contains(&q) {
+                continue;
+            }
+            let nd = d + step_cost(hist, q);
+            if nd < dist.get(&q).copied().unwrap_or(u64::MAX) {
+                dist.insert(q, nd);
+                heap.push(Reverse((nd, q)));
+            }
+        }
+    }
+    None
+}
+
+/// Total cost of a returned path under the same charging rule.
+fn path_cost(hist: Option<&HistoryCost>, path: &GridPath) -> u64 {
+    path.cells()
+        .iter()
+        .skip(1)
+        .map(|&c| step_cost(hist, c))
+        .sum()
+}
+
+struct Setup {
+    obs: ObsMap,
+    hist: HistoryCost,
+    sources: Vec<Point>,
+    targets: Vec<Point>,
+}
+
+/// Deterministically derives a random obstacle grid plus terminals from
+/// the proptest-chosen scalars.
+fn setup(w: u32, h: u32, seed: u64, density: u32, nsrc: usize, ntgt: usize) -> Setup {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut grid = Grid::new(w, h).unwrap();
+    for y in 0..h as i32 {
+        for x in 0..w as i32 {
+            if rng.gen_range(0u32..100) < density {
+                grid.set_obstacle(Point::new(x, y));
+            }
+        }
+    }
+    let rand_point =
+        |rng: &mut StdRng| Point::new(rng.gen_range(0..w as i32), rng.gen_range(0..h as i32));
+    let sources: Vec<Point> = (0..nsrc).map(|_| rand_point(&mut rng)).collect();
+    let mut targets: Vec<Point> = (0..ntgt).map(|_| rand_point(&mut rng)).collect();
+    if seed.is_multiple_of(5) {
+        // Occasionally aim at an off-map target: the flat kernel must
+        // fall back to the reference kernel and still agree with it.
+        targets.push(Point::new(w as i32, rng.gen_range(0..h as i32)));
+    }
+    let mut hist = HistoryCost::new(w, h);
+    for _ in 0..(w * h / 4) {
+        let p = rand_point(&mut rng);
+        for _ in 0..rng.gen_range(1u32..4) {
+            hist.bump(p);
+        }
+    }
+    Setup {
+        obs: ObsMap::new(&grid),
+        hist,
+        sources,
+        targets,
+    }
+}
+
+proptest! {
+    #[test]
+    fn unit_cost_kernels_agree(
+        w in 4u32..20,
+        h in 4u32..20,
+        seed in 0u64..u64::MAX,
+        density in 0u32..45,
+        nsrc in 1usize..4,
+        ntgt in 1usize..4,
+    ) {
+        let s = setup(w, h, seed, density, nsrc, ntgt);
+        let astar = AStar::new(&s.obs);
+        let flat = astar.route(&s.sources, &s.targets);
+        let reference = astar.route_reference(&s.sources, &s.targets);
+        prop_assert_eq!(&flat, &reference, "kernels returned different paths");
+
+        let oracle = dijkstra_cost(&s.obs, None, &s.sources, &s.targets);
+        match (&flat, oracle) {
+            (Some(path), Some(cost)) => {
+                prop_assert_eq!(path_cost(None, path), cost, "suboptimal path");
+            }
+            (None, None) => {}
+            (got, want) => {
+                return Err(TestCaseError::fail(format!(
+                    "reachability disagrees with Dijkstra: got {got:?}, want cost {want:?}"
+                )));
+            }
+        }
+    }
+
+    #[test]
+    fn history_weighted_kernels_agree(
+        w in 4u32..18,
+        h in 4u32..18,
+        seed in 0u64..u64::MAX,
+        density in 0u32..35,
+        nsrc in 1usize..3,
+        ntgt in 1usize..3,
+    ) {
+        let s = setup(w, h, seed, density, nsrc, ntgt);
+        let astar = AStar::with_history(&s.obs, &s.hist);
+        let flat = astar.route(&s.sources, &s.targets);
+        let reference = astar.route_reference(&s.sources, &s.targets);
+        prop_assert_eq!(&flat, &reference, "history kernels returned different paths");
+
+        let oracle = dijkstra_cost(&s.obs, Some(&s.hist), &s.sources, &s.targets);
+        match (&flat, oracle) {
+            (Some(path), Some(cost)) => {
+                prop_assert_eq!(path_cost(Some(&s.hist), path), cost, "suboptimal path");
+            }
+            (None, None) => {}
+            (got, want) => {
+                return Err(TestCaseError::fail(format!(
+                    "reachability disagrees with Dijkstra: got {got:?}, want cost {want:?}"
+                )));
+            }
+        }
+    }
+}

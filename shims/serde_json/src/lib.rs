@@ -386,7 +386,7 @@ mod tests {
     #[test]
     fn scalar_roundtrips() {
         assert_eq!(to_string(&true).unwrap(), "true");
-        assert_eq!(from_str::<bool>("true").unwrap(), true);
+        assert!(from_str::<bool>("true").unwrap());
         assert_eq!(from_str::<i32>("-42").unwrap(), -42);
         assert_eq!(from_str::<f64>("0.1").unwrap(), 0.1);
         let x: f64 = from_str(&to_string(&0.30000000000000004f64).unwrap()).unwrap();

@@ -1,15 +1,18 @@
 //! `pacor` — command-line front-end for the PACOR routing flow.
 //!
 //! ```text
-//! pacor synth <design> [seed]          write a problem JSON to stdout
-//! pacor route <problem.json|design>    run the flow, report JSON to stdout
-//! pacor render <problem.json|design>   run the flow, SVG to stdout
-//! pacor table2 [--full]                regenerate the paper's Table 2
+//! pacor synth <design> [seed]                    write a problem JSON to stdout
+//! pacor route [--threads N] <problem.json|design>   run the flow, report JSON to stdout
+//! pacor render [--threads N] <problem.json|design>  run the flow, SVG to stdout
+//! pacor table2 [--full] [--threads N]            regenerate the paper's Table 2
 //! ```
 //!
 //! `<design>` is one of `Chip1 Chip2 S1 S2 S3 S4 S5`; anything else is
 //! treated as a path to a problem JSON produced by `pacor synth` (or by
 //! hand — the schema is `pacor::Problem`'s serde form).
+//!
+//! `--threads N` fans the data-parallel flow stages out over `N` worker
+//! threads; results are bit-identical at any value (see docs/GUIDE.md).
 
 use pacor::{BenchDesign, FlowConfig, FlowVariant, PacorFlow, Problem, RouteReport};
 
@@ -22,7 +25,7 @@ fn main() {
         Some("table2") => cmd_table2(&args[1..]),
         _ => {
             eprintln!(
-                "usage: pacor synth <design> [seed]\n       pacor route <problem.json|design>\n       pacor render <problem.json|design>\n       pacor table2 [--full]"
+                "usage: pacor synth <design> [seed]\n       pacor route [--threads N] <problem.json|design>\n       pacor render [--threads N] <problem.json|design>\n       pacor table2 [--full] [--threads N]"
             );
             2
         }
@@ -41,6 +44,29 @@ fn design_of(name: &str) -> Option<BenchDesign> {
         "S5" => Some(BenchDesign::S5),
         _ => None,
     }
+}
+
+/// Extracts `--threads N` from `args`, returning the thread count and
+/// the remaining positional arguments.
+fn parse_threads(args: &[String]) -> Result<(usize, Vec<&String>), String> {
+    let mut threads = 1usize;
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--threads" {
+            let Some(v) = it.next() else {
+                return Err("--threads requires a value".into());
+            };
+            threads = v
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| format!("--threads: expected a positive integer, got {v:?}"))?;
+        } else {
+            rest.push(a);
+        }
+    }
+    Ok((threads, rest))
 }
 
 fn load_problem(arg: &str, seed: u64) -> Result<Problem, String> {
@@ -73,7 +99,14 @@ fn cmd_synth(args: &[String]) -> i32 {
 }
 
 fn cmd_route(args: &[String]) -> i32 {
-    let Some(arg) = args.first() else {
+    let (threads, rest) = match parse_threads(args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("route: {e}");
+            return 2;
+        }
+    };
+    let Some(arg) = rest.first() else {
         eprintln!("route: missing problem file or design name");
         return 2;
     };
@@ -84,7 +117,7 @@ fn cmd_route(args: &[String]) -> i32 {
             return 1;
         }
     };
-    match PacorFlow::new(FlowConfig::default()).run(&problem) {
+    match PacorFlow::new(FlowConfig::default().with_threads(threads)).run(&problem) {
         Ok(report) => {
             println!(
                 "{}",
@@ -100,7 +133,14 @@ fn cmd_route(args: &[String]) -> i32 {
 }
 
 fn cmd_render(args: &[String]) -> i32 {
-    let Some(arg) = args.first() else {
+    let (threads, rest) = match parse_threads(args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("render: {e}");
+            return 2;
+        }
+    };
+    let Some(arg) = rest.first() else {
         eprintln!("render: missing problem file or design name");
         return 2;
     };
@@ -111,7 +151,7 @@ fn cmd_render(args: &[String]) -> i32 {
             return 1;
         }
     };
-    match PacorFlow::new(FlowConfig::default()).run_detailed(&problem) {
+    match PacorFlow::new(FlowConfig::default().with_threads(threads)).run_detailed(&problem) {
         Ok((_, routed)) => {
             print!("{}", pacor::render_svg(&problem, &routed, 12));
             0
@@ -124,7 +164,14 @@ fn cmd_render(args: &[String]) -> i32 {
 }
 
 fn cmd_table2(args: &[String]) -> i32 {
-    let full = args.iter().any(|a| a == "--full");
+    let (threads, rest) = match parse_threads(args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("table2: {e}");
+            return 2;
+        }
+    };
+    let full = rest.iter().any(|a| *a == "--full");
     let designs: Vec<BenchDesign> = if full {
         BenchDesign::ALL.to_vec()
     } else {
@@ -134,7 +181,8 @@ fn cmd_table2(args: &[String]) -> i32 {
     for d in designs {
         let problem = d.synthesize(42);
         for v in FlowVariant::ALL {
-            match PacorFlow::new(FlowConfig::for_variant(v)).run(&problem) {
+            let config = FlowConfig::for_variant(v).with_threads(threads);
+            match PacorFlow::new(config).run(&problem) {
                 Ok(r) => println!("{}", r.table_row()),
                 Err(e) => {
                     eprintln!("table2: {e}");

@@ -2,7 +2,7 @@
 //! docs/GUIDE.md §6 documents: reorder stages, skip stages, instrument
 //! between them.
 
-use pacor_repro::grid::{ObsMap, Point};
+use pacor_repro::grid::ObsMap;
 use pacor_repro::pacor::stages::{escape_all, route_lm_clusters, route_ordinary_clusters};
 use pacor_repro::pacor::{
     detour_cluster, verify_layout, BenchDesign, FlowConfig, Problem,

@@ -1,0 +1,66 @@
+//! Determinism guarantees of the flow (docs/GUIDE.md §"Determinism"):
+//! for a fixed problem, the flow produces byte-identical reports and
+//! routed geometry run-to-run AND at any worker-thread count. The only
+//! nondeterministic fields are the wall-clock ones (`runtime`,
+//! `stage_timings`), which are normalized away before comparing.
+
+use pacor_repro::pacor::{
+    BenchDesign, FlowConfig, PacorFlow, RouteReport, RoutedCluster, StageTimings,
+};
+use std::time::Duration;
+
+/// Serialized report with the wall-clock fields (and the machine-local
+/// parallelism info they carry) zeroed out.
+fn normalized(report: &RouteReport) -> String {
+    let mut r = report.clone();
+    r.runtime = Duration::ZERO;
+    r.stage_timings = StageTimings::default();
+    serde_json::to_string(&r).expect("reports serialize")
+}
+
+/// The full routed geometry, printed deterministically.
+fn geometry(routed: &[RoutedCluster]) -> String {
+    format!("{routed:?}")
+}
+
+fn run(design: BenchDesign, threads: usize) -> (String, String) {
+    let problem = design.synthesize(42);
+    let flow = PacorFlow::new(FlowConfig::default().with_threads(threads));
+    let (report, routed) = flow.run_detailed(&problem).expect("bench designs route");
+    (normalized(&report), geometry(&routed))
+}
+
+#[test]
+fn repeated_runs_are_byte_identical() {
+    for design in [BenchDesign::S1, BenchDesign::S2, BenchDesign::S3] {
+        let first = run(design, 1);
+        let second = run(design, 1);
+        assert_eq!(first.0, second.0, "{design:?} report drifted across runs");
+        assert_eq!(first.1, second.1, "{design:?} geometry drifted across runs");
+    }
+}
+
+#[test]
+fn thread_count_does_not_change_the_result() {
+    for design in [BenchDesign::S1, BenchDesign::S2, BenchDesign::S3] {
+        let single = run(design, 1);
+        let multi = run(design, 4);
+        assert_eq!(
+            single.0, multi.0,
+            "{design:?} report differs between 1 and 4 threads"
+        );
+        assert_eq!(
+            single.1, multi.1,
+            "{design:?} geometry differs between 1 and 4 threads"
+        );
+    }
+}
+
+#[test]
+fn normalization_only_hides_wall_clock_fields() {
+    // Guard the normalizer itself: two different designs must still
+    // produce different normalized reports.
+    let a = run(BenchDesign::S1, 1);
+    let b = run(BenchDesign::S2, 1);
+    assert_ne!(a.0, b.0);
+}
