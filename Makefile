@@ -2,10 +2,11 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test clippy bench tables
+.PHONY: verify build test clippy bench tables obs-smoke
 
-# The acceptance gate: release build, full test suite, zero-warning lints.
-verify: build test clippy
+# The acceptance gate: release build, full test suite, zero-warning
+# lints, and a smoke-run of the observability exports.
+verify: build test clippy obs-smoke
 
 build:
 	$(CARGO) build --release --workspace
@@ -21,3 +22,11 @@ bench:
 
 tables:
 	$(CARGO) run --release -p pacor-bench --bin tables -- all
+
+# Route one small design with both observability exports enabled and
+# check that each output file parses as JSON.
+obs-smoke:
+	$(CARGO) run --release --bin pacor-cli -- route --quiet \
+		--trace-out target/obs_smoke_trace.json \
+		--metrics-out target/obs_smoke_metrics.json S1
+	python3 -c "import json; json.load(open('target/obs_smoke_trace.json')); json.load(open('target/obs_smoke_metrics.json')); print('obs-smoke: both exports are valid JSON')"

@@ -12,7 +12,9 @@
 //! seconds).
 
 use pacor::{BenchDesign, FlowConfig, FlowVariant, RouteReport};
-use pacor_bench::{run_config, run_variant, table1_header, table1_row, BENCH_SEED};
+use pacor_bench::{
+    metrics_header, metrics_row, run_config, run_variant, table1_header, table1_row, BENCH_SEED,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -61,15 +63,23 @@ fn table2(full: bool) {
     };
     let mut matched = [0usize; 3];
     let mut total_len = [0u64; 3];
+    let mut reports: Vec<RouteReport> = Vec::new();
     for d in designs {
         for (k, v) in FlowVariant::ALL.into_iter().enumerate() {
             let r = run_variant(d, v, BENCH_SEED);
             matched[k] += r.matched_clusters;
             total_len[k] += r.total_length;
             println!("{}", r.table_row());
+            reports.push(r);
         }
         println!();
     }
+    println!("-- hot-path counters (pacor-obs) --");
+    println!("{}", metrics_header());
+    for r in &reports {
+        println!("{}", metrics_row(r));
+    }
+    println!();
     println!("-- aggregate over designs --");
     for (k, v) in FlowVariant::ALL.into_iter().enumerate() {
         println!(

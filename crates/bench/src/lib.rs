@@ -58,6 +58,35 @@ pub fn table1_header() -> String {
     )
 }
 
+/// The hot-path counters printed alongside Table 2, in column order.
+const METRIC_COLUMNS: [(&str, &str); 6] = [
+    ("astar.queries", "A*qry"),
+    ("astar.expansions", "A*exp"),
+    ("negotiate.rounds", "NegRnd"),
+    ("negotiate.ripups", "RipUp"),
+    ("escape.declustered", "Declus"),
+    ("detour.segments", "DetSeg"),
+];
+
+/// Formats a counter row for a report: the deterministic hot-path
+/// totals the flow's observability layer collected during the run.
+pub fn metrics_row(report: &RouteReport) -> String {
+    let mut row = format!("{:<8} {:<13}", report.design, report.variant);
+    for (name, _) in METRIC_COLUMNS {
+        row.push_str(&format!(" {:>9}", report.metrics.counter(name)));
+    }
+    row
+}
+
+/// The header matching [`metrics_row`].
+pub fn metrics_header() -> String {
+    let mut row = format!("{:<8} {:<13}", "Design", "Method");
+    for (_, label) in METRIC_COLUMNS {
+        row.push_str(&format!(" {label:>9}"));
+    }
+    row
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -74,5 +103,18 @@ mod tests {
         assert!(row.contains("S3"));
         assert!(row.contains("52x52"));
         assert!(row.contains("93"));
+    }
+
+    #[test]
+    fn metrics_row_prints_counter_totals() {
+        let r = run_variant(BenchDesign::S1, FlowVariant::Pacor, BENCH_SEED);
+        let row = metrics_row(&r);
+        assert!(row.contains("S1"));
+        assert!(
+            row.contains(&r.metrics.counter("astar.expansions").to_string()),
+            "row must carry the expansion total: {row}"
+        );
+        let header = metrics_header();
+        assert!(header.contains("A*exp"));
     }
 }

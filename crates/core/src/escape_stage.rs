@@ -60,8 +60,10 @@ pub fn escape_all(
     // Rip every escape and re-solve the whole min-cost flow, so early
     // winners cannot starve late-declustered valves; recover multi-valve
     // failures by de-clustering.
+    let phase_span = pacor_obs::span("escape.phase1");
     for _ in 0..config.max_ripup_rounds {
         stats.rounds += 1;
+        pacor_obs::counter_add("escape.rounds", 1);
         for rc in routed.iter_mut() {
             if let Some((esc, _)) = rc.escape.take() {
                 // Escape cell 0 lies on the cluster net and stays blocked.
@@ -83,13 +85,13 @@ pub fn escape_all(
         if failed.is_empty() {
             return stats;
         }
-        #[cfg(feature = "trace")]
         for &i in &failed {
-            eprintln!(
-                "phase1 round {}: FAILED source {:?} (cluster {:?})",
-                stats.rounds,
-                routed[i].escape_source().cells,
-                routed[i].cluster.id()
+            pacor_obs::instant(
+                "escape.phase1_failed",
+                &[
+                    ("round", stats.rounds as u64),
+                    ("cluster", routed[i].cluster.id().0 as u64),
+                ],
             );
         }
         let mut any_multi = false;
@@ -98,6 +100,7 @@ pub fn escape_all(
             if routed[i].cluster.len() >= 2 {
                 any_multi = true;
                 stats.declustered += 1;
+                pacor_obs::counter_add("escape.declustered", 1);
                 let rc = routed.remove(i);
                 obs.unblock_all(rc.net_cells());
                 for (k, &m) in rc.cluster.members().iter().enumerate() {
@@ -112,12 +115,14 @@ pub fn escape_all(
             break; // only walled-in singletons remain: phase 2
         }
     }
+    drop(phase_span);
 
     // ---- Phase 2: incremental recovery --------------------------------
     // Committed escapes now stay put. Remaining failures rip the nets
     // walling them in, claim the freed corridor alone, and the victims
     // re-route (internals immediately, escapes in the next iteration's
     // pending-only solve).
+    let phase_span = pacor_obs::span("escape.phase2");
     for _ in 0..config.max_ripup_rounds {
         let pending: Vec<usize> = (0..routed.len())
             .filter(|&i| routed[i].escape.is_none())
@@ -126,6 +131,7 @@ pub fn escape_all(
             return stats;
         }
         stats.rounds += 1;
+        pacor_obs::counter_add("escape.rounds", 1);
         let sources: Vec<_> = pending.iter().map(|&i| routed[i].escape_source()).collect();
         let outcome = EscapeNetwork::build(obs, &sources, pins).solve();
         let mut failed: Vec<usize> = Vec::new();
@@ -151,6 +157,7 @@ pub fn escape_all(
             if routed[i].cluster.len() >= 2 {
                 progress = true;
                 stats.declustered += 1;
+                pacor_obs::counter_add("escape.declustered", 1);
                 let rc = routed.remove(i);
                 obs.unblock_all(rc.net_cells());
                 for (k, &m) in rc.cluster.members().iter().enumerate() {
@@ -177,11 +184,13 @@ pub fn escape_all(
             // may be walled by several nets nested behind one another.
             let mut victims: Vec<RoutedCluster> = Vec::new();
             let mut pocket: HashSet<Point> = HashSet::new();
-            for _shell in 0..4 {
+            for shell in 0..4 {
                 let (blockers, shell_pocket) = blocking_clusters(obs, routed, cur, source, &rip_counts);
                 pocket.extend(shell_pocket);
-                #[cfg(feature = "trace")]
-                eprintln!("shell {_shell}: source {source} blockers {blockers:?}");
+                pacor_obs::instant(
+                    "escape.shell",
+                    &[("shell", shell as u64), ("blockers", blockers.len() as u64)],
+                );
                 if blockers.is_empty() {
                     break; // walled by hard obstacles / valves: unrecoverable
                 }
@@ -191,6 +200,7 @@ pub fn escape_all(
                 for &b in blockers.iter().rev() {
                     let rc = routed.remove(b);
                     stats.ripped += 1;
+                    pacor_obs::counter_add("escape.ripped", 1);
                     *rip_counts.entry(rc.cluster.id().0).or_insert(0) += 1;
                     obs.unblock_all(rc.net_cells());
                     if let Some((esc, _)) = &rc.escape {
@@ -213,8 +223,7 @@ pub fn escape_all(
                     routed[cur].commit_escape(path, pin);
                     break;
                 }
-                #[cfg(feature = "trace")]
-                eprintln!("  solo escape failed for {source}");
+                pacor_obs::instant("escape.solo_failed", &[("shell", shell as u64)]);
             }
             // Guard the pocket and its one-cell rim while the victims
             // re-route, so a deterministic router cannot simply rebuild
@@ -258,6 +267,7 @@ pub fn escape_all(
                     }
                     None => {
                         stats.declustered += 1;
+                        pacor_obs::counter_add("escape.declustered", 1);
                         for (k, &m) in members.iter().enumerate() {
                             obs.block(positions[k]);
                             routed.push(singleton(ClusterId(*next_id), m, positions[k]));
@@ -272,6 +282,7 @@ pub fn escape_all(
             break;
         }
     }
+    drop(phase_span);
 
     if routed.iter().all(|rc| rc.escape.is_some()) {
         return stats; // phase 2's final round completed everything
@@ -286,6 +297,7 @@ pub fn escape_all(
     // are de-clustered, strictly reducing the multi-cluster count each
     // round — the loop provably reaches a state where the flow routes
     // everything physically reachable past valves and hard obstacles.
+    let _phase_span = pacor_obs::span("escape.phase3");
     for _ in 0..routed.len() + 4 {
         for rc in routed.iter_mut() {
             if let Some((esc, _)) = rc.escape.take() {
@@ -305,6 +317,7 @@ pub fn escape_all(
         let mut progress = false;
         if !failed_sources.is_empty() {
             stats.rounds += 1;
+            pacor_obs::counter_add("escape.rounds", 1);
             for &source in &failed_sources {
                 let Some(cur) = routed
                     .iter()
@@ -325,6 +338,7 @@ pub fn escape_all(
                     }
                     progress = true;
                     stats.declustered += 1;
+                    pacor_obs::counter_add("escape.declustered", 1);
                     let rc = routed.remove(b);
                     obs.unblock_all(rc.net_cells());
                     for (k, &m) in rc.cluster.members().iter().enumerate() {

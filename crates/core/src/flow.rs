@@ -64,7 +64,11 @@ impl PacorFlow {
     ) -> Result<(RouteReport, Vec<RoutedCluster>), FlowError> {
         problem.validate()?;
         let start = Instant::now();
-        let mut timings = crate::StageTimings::default();
+        // The flow always records its own observability session, so the
+        // report carries counter totals even without an outer (CLI)
+        // session; nested sessions merge upward on finish.
+        let obs_session = pacor_obs::Session::begin();
+        let mut timings = crate::FlowMetrics::default();
         let grid = problem.grid()?;
         let mut obs = ObsMap::new(&grid);
 
@@ -72,7 +76,9 @@ impl PacorFlow {
         // Length-matching clusters are pinned; remaining valves cluster
         // greedily by compatibility (broadcast addressing).
         let stage = Instant::now();
+        let span = pacor_obs::span("stage.clustering");
         let clusters = problem.valves.cluster_greedy(&problem.lm_clusters);
+        drop(span);
         timings.clustering = stage.elapsed();
         let positions_of = |c: &Cluster| {
             c.members()
@@ -103,7 +109,10 @@ impl PacorFlow {
         let lm_input: Vec<(Cluster, Vec<_>)> =
             lm.into_iter().map(|c| (positions_of(&c), c)).map(|(p, c)| (c, p)).collect();
         let stage = Instant::now();
+        let span = pacor_obs::span_with("stage.lm_routing", &[("clusters", lm_input.len() as u64)]);
         let lm_out = route_lm_clusters(&mut obs, lm_input, &self.config);
+        drop(span);
+        pacor_obs::counter_sample("astar.expansions");
         timings.lm_routing = stage.elapsed();
         timings.threads = crate::effective_threads(self.config.thread_count);
         timings.lm_candidate_tasks = lm_out.candidate_tasks;
@@ -126,26 +135,33 @@ impl PacorFlow {
             ordinary_input.push((demoted, p));
         }
         let stage = Instant::now();
+        let span =
+            pacor_obs::span_with("stage.mst_routing", &[("clusters", ordinary_input.len() as u64)]);
         routed.extend(route_ordinary_clusters(
             &mut obs,
             ordinary_input,
             &mut next_cluster_id,
         ));
+        drop(span);
+        pacor_obs::counter_sample("astar.expansions");
         timings.mst_routing = stage.elapsed();
 
         // ---- Stage 3.5: Detour-First variant --------------------------
         if self.config.variant == FlowVariant::DetourFirst {
             let stage = Instant::now();
+            let span = pacor_obs::span("stage.detour");
             for rc in routed.iter_mut() {
                 if rc.cluster.is_length_matched() {
                     detour_cluster(&mut obs, rc, problem.delta, &self.config);
                 }
             }
+            drop(span);
             timings.detour = stage.elapsed();
         }
 
         // ---- Stages 4–5: escape routing with rip-up/de-clustering -----
         let stage = Instant::now();
+        let span = pacor_obs::span("stage.escape");
         let escape_stats = escape_all(
             &mut obs,
             &mut routed,
@@ -153,21 +169,32 @@ impl PacorFlow {
             &self.config,
             &mut next_cluster_id,
         );
+        drop(span);
+        pacor_obs::counter_sample("astar.expansions");
         timings.escape = stage.elapsed();
 
         // ---- Stage 6: final path detouring ----------------------------
         if self.config.variant != FlowVariant::DetourFirst {
             let stage = Instant::now();
+            let span = pacor_obs::span("stage.detour");
             for rc in routed.iter_mut() {
                 if rc.cluster.is_length_matched() && rc.is_complete() {
                     detour_cluster(&mut obs, rc, problem.delta, &self.config);
                 }
             }
+            drop(span);
             timings.detour = stage.elapsed();
         }
+        pacor_obs::counter_sample("astar.expansions");
+
+        let obs_report = obs_session.finish();
+        timings.counters = obs_report
+            .counters()
+            .map(|(name, value)| (name.to_string(), value))
+            .collect();
 
         let mut report = self.report(problem, &routed, clusters_multi, start);
-        report.stage_timings = timings;
+        report.metrics = timings;
         report.escape_recovery = (
             escape_stats.rounds,
             escape_stats.declustered,
@@ -220,7 +247,7 @@ impl PacorFlow {
             valves_routed,
             valves_total: problem.valve_count(),
             runtime: start.elapsed(),
-            stage_timings: crate::StageTimings::default(),
+            metrics: crate::FlowMetrics::default(),
             escape_recovery: (0, 0, 0),
             clusters,
         }

@@ -71,12 +71,13 @@ pub use parallel::{effective_threads, parallel_map};
 pub use physics::PropagationModel;
 pub use problem::{Problem, ProblemBuilder};
 pub use render::{render_ascii, render_svg};
-pub use report::{ClusterReport, RouteReport, StageTimings};
+pub use report::{ClusterReport, FlowMetrics, RouteReport};
 pub use routed::{RoutedCluster, RoutedKind};
 pub use verify::{verify_layout, verify_layout_strict, Violation};
 
 // Re-export the substrate crates so downstream users need only `pacor`.
 pub use pacor_clique as clique;
+pub use pacor_obs as obs;
 pub use pacor_dme as dme;
 pub use pacor_flow as netflow;
 pub use pacor_grid as grid;

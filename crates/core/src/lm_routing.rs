@@ -63,6 +63,7 @@ pub fn route_lm_clusters(
                     ..CandidateConfig::default()
                 },
             );
+            pacor_obs::record("dme.candidates", cands.len() as u64);
             (i, cands)
         });
 
@@ -147,6 +148,7 @@ pub fn route_lm_clusters(
             let is_tree = matches!(net, LmNet::Tree { .. });
             if is_tree && !retried.contains(&ci) && clusters[ci].1.len() <= 6 {
                 retried.insert(ci);
+                pacor_obs::counter_add("lm.reconstructed", 1);
                 let alts = candidates_with_alternates(
                     &clusters[ci].1,
                     Some(obs),
@@ -164,6 +166,8 @@ pub fn route_lm_clusters(
                     continue;
                 }
             }
+            pacor_obs::counter_add("lm.demoted", 1);
+            pacor_obs::instant("lm.demoted", &[("cluster", ci as u64)]);
             failed_idx.push(ci);
         }
         if active.is_empty() {
@@ -255,6 +259,7 @@ fn select_trees(
                 }
             }
         }
+        pacor_obs::counter_add("mwcp.pair_scores", costs.len() as u64);
         costs
     });
     for (a, b, cost) in scored.into_iter().flatten() {

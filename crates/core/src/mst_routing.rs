@@ -90,14 +90,25 @@ pub fn route_ordinary_clusters(
     clusters: Vec<(Cluster, Vec<Point>)>,
     next_id: &mut u32,
 ) -> Vec<RoutedCluster> {
+    pacor_obs::counter_add("mst.clusters", clusters.len() as u64);
     let mut queue: std::collections::VecDeque<(Cluster, Vec<Point>)> = clusters.into();
     let mut out = Vec::new();
     while let Some((cluster, positions)) = queue.pop_front() {
         match route_mst_cluster(obs, &cluster, &positions) {
-            Some(rc) => out.push(rc),
+            Some(rc) => {
+                pacor_obs::counter_add(
+                    "mst.edges",
+                    match &rc.kind {
+                        RoutedKind::Mst { paths } => paths.len() as u64,
+                        _ => 0,
+                    },
+                );
+                out.push(rc)
+            }
             None => match cluster.split(*next_id) {
                 Some((a, b)) => {
                     *next_id += 2;
+                    pacor_obs::counter_add("mst.splits", 1);
                     let pos_of = |c: &Cluster| {
                         c.members()
                             .iter()

@@ -7,6 +7,11 @@
 //! the sequential map at any thread count. Determinism therefore needs
 //! nothing from the workers beyond the mapped function itself being
 //! pure — scheduling order never leaks into the result.
+//!
+//! When the caller has an active [`pacor_obs`] recording frame, each
+//! work item additionally runs inside its own [`pacor_obs::task_frame`]
+//! and the captured frames are absorbed back in item order, so counter
+//! and histogram totals inherit the same any-thread-count determinism.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
@@ -39,12 +44,36 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    // Observability: when the caller records, every item runs in a
+    // private task frame (whatever thread it lands on) and the frames
+    // are absorbed in item order — never completion order — so metric
+    // totals stay bit-identical at any thread count.
+    let recording = pacor_obs::active();
+    let _span = recording.then(|| {
+        pacor_obs::counter_add("parallel.tasks", items.len() as u64);
+        pacor_obs::span_with(
+            "parallel.batch",
+            &[("items", items.len() as u64), ("threads", threads as u64)],
+        )
+    });
     if threads <= 1 || items.len() <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                if recording {
+                    let (r, frame) = pacor_obs::task_frame(i as u32 + 1, || f(i, t));
+                    pacor_obs::absorb(frame);
+                    r
+                } else {
+                    f(i, t)
+                }
+            })
+            .collect();
     }
     let workers = threads.min(items.len());
     let next = AtomicUsize::new(0);
-    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    let mut slots: Vec<Option<(R, Option<pacor_obs::Frame>)>> = Vec::with_capacity(items.len());
     slots.resize_with(items.len(), || None);
     thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
@@ -56,21 +85,33 @@ where
                         if i >= items.len() {
                             break;
                         }
-                        produced.push((i, f(i, &items[i])));
+                        if recording {
+                            let (r, frame) =
+                                pacor_obs::task_frame(i as u32 + 1, || f(i, &items[i]));
+                            produced.push((i, r, Some(frame)));
+                        } else {
+                            produced.push((i, f(i, &items[i]), None));
+                        }
                     }
                     produced
                 })
             })
             .collect();
         for handle in handles {
-            for (i, r) in handle.join().expect("parallel_map worker panicked") {
-                slots[i] = Some(r);
+            for (i, r, frame) in handle.join().expect("parallel_map worker panicked") {
+                slots[i] = Some((r, frame));
             }
         }
     });
     slots
         .into_iter()
-        .map(|r| r.expect("every item is claimed exactly once"))
+        .map(|slot| {
+            let (r, frame) = slot.expect("every item is claimed exactly once");
+            if let Some(frame) = frame {
+                pacor_obs::absorb(frame);
+            }
+            r
+        })
         .collect()
 }
 
@@ -113,6 +154,28 @@ mod tests {
         });
         assert_eq!(out.len(), 64);
         assert_eq!(calls.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn obs_totals_are_thread_count_invariant() {
+        let items: Vec<u64> = (0..25).collect();
+        let work = |_: usize, &x: &u64| {
+            pacor_obs::counter_add("test.work", x + 1);
+            pacor_obs::record("test.size", x);
+            x
+        };
+        let run = |threads: usize| {
+            let session = pacor_obs::Session::begin();
+            let out = parallel_map(threads, &items, work);
+            let report = session.finish();
+            (out, pacor_obs::metrics_json(&report))
+        };
+        let (seq_out, seq_metrics) = run(1);
+        for threads in [2, 4, 8] {
+            let (out, metrics) = run(threads);
+            assert_eq!(out, seq_out);
+            assert_eq!(metrics, seq_metrics, "metrics differ at {threads} threads");
+        }
     }
 
     #[test]

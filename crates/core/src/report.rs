@@ -5,10 +5,16 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::time::Duration;
 
-/// Wall-clock breakdown of the flow stages (Fig. 2), for performance
-/// analysis; stages not run by a variant report zero.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
-pub struct StageTimings {
+/// Flow-level performance summary: the wall-clock breakdown of the
+/// stages (Fig. 2) plus the aggregated hot-path counters collected by
+/// [`pacor_obs`] during the run; stages not run by a variant report
+/// zero.
+///
+/// The `counters` totals are deterministic — byte-identical at any
+/// worker-thread count — while the `Duration` fields and `threads` are
+/// wall-clock/configuration facts that vary run to run.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FlowMetrics {
     /// Stage 1: valve clustering.
     pub clustering: Duration,
     /// Stage 2: length-matching cluster routing (DME + MWCP + negotiation).
@@ -28,6 +34,22 @@ pub struct StageTimings {
     /// Work items fanned out during MWCP pair scoring (one per cluster
     /// pair, over all negotiation rounds).
     pub lm_scoring_tasks: usize,
+    /// Name-sorted `(counter, total)` pairs from the observability layer
+    /// (A\* expansions, queue pushes, rip-ups, detour deltas, …).
+    ///
+    /// Stored as a sorted vec rather than a map so the serialized form
+    /// round-trips through the in-tree serde and stays ordered.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl FlowMetrics {
+    /// Looks up a counter total by name; absent counters read as 0.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .map(|i| self.counters[i].1)
+            .unwrap_or(0)
+    }
 }
 
 /// Per-cluster routing result.
@@ -73,8 +95,8 @@ pub struct RouteReport {
     pub valves_total: usize,
     /// Wall-clock runtime of the flow.
     pub runtime: Duration,
-    /// Per-stage runtime breakdown.
-    pub stage_timings: StageTimings,
+    /// Per-stage runtime breakdown and hot-path counter totals.
+    pub metrics: FlowMetrics,
     /// Escape-stage recovery counters: (rounds, de-clustered, ripped).
     pub escape_recovery: (u32, usize, usize),
     /// Per-cluster details.
@@ -138,7 +160,7 @@ mod tests {
             valves_routed: 5,
             valves_total: 5,
             runtime: Duration::from_millis(10),
-            stage_timings: StageTimings::default(),
+            metrics: FlowMetrics::default(),
             escape_recovery: (1, 0, 0),
             clusters: vec![],
         }
@@ -171,6 +193,20 @@ mod tests {
         assert!(row.contains("PACOR"));
         assert!(row.contains("36"));
         assert!(row.contains("100%"));
+    }
+
+    #[test]
+    fn counter_lookup_uses_sorted_names() {
+        let m = FlowMetrics {
+            counters: vec![
+                ("astar.expansions".into(), 42),
+                ("negotiate.rounds".into(), 3),
+            ],
+            ..FlowMetrics::default()
+        };
+        assert_eq!(m.counter("astar.expansions"), 42);
+        assert_eq!(m.counter("negotiate.rounds"), 3);
+        assert_eq!(m.counter("missing"), 0);
     }
 
     #[test]

@@ -1,0 +1,202 @@
+//! Exporters: Chrome trace-event JSON and a flat metrics document.
+//!
+//! Both are hand-written (the crate is zero-dependency). Event and
+//! metric names are static identifiers, but the writers still escape
+//! strings defensively so the output is always valid JSON.
+
+use crate::{ObsReport, TraceEvent};
+use std::fmt::Write;
+
+/// Process id used for every trace event (the flow is one process).
+const PID: u32 = 1;
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_args(out: &mut String, args: &[(&str, u64)]) {
+    out.push('{');
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_string(out, k);
+        let _ = write!(out, ":{v}");
+    }
+    out.push('}');
+}
+
+/// Renders the report's event stream as Chrome trace-event JSON: an
+/// array of objects each carrying `name`, `ph`, `ts`, `pid` and `tid`,
+/// loadable directly in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev).
+///
+/// Spans become complete events (`ph: "X"` with `dur`), instants
+/// `ph: "i"` markers, and counter samples `ph: "C"` series.
+pub fn chrome_trace(report: &ObsReport) -> String {
+    let mut out = String::from("[");
+    for (i, event) in report.events().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {");
+        match event {
+            TraceEvent::Span {
+                name,
+                ts,
+                dur,
+                tid,
+                args,
+            } => {
+                out.push_str("\"name\":");
+                push_json_string(&mut out, name);
+                let _ = write!(
+                    out,
+                    ",\"ph\":\"X\",\"ts\":{ts},\"dur\":{dur},\"pid\":{PID},\"tid\":{tid},\"args\":"
+                );
+                push_args(&mut out, args);
+            }
+            TraceEvent::Instant {
+                name,
+                ts,
+                tid,
+                args,
+            } => {
+                out.push_str("\"name\":");
+                push_json_string(&mut out, name);
+                let _ = write!(
+                    out,
+                    ",\"ph\":\"i\",\"ts\":{ts},\"pid\":{PID},\"tid\":{tid},\"s\":\"t\",\"args\":"
+                );
+                push_args(&mut out, args);
+            }
+            TraceEvent::Counter {
+                name,
+                ts,
+                tid,
+                value,
+            } => {
+                out.push_str("\"name\":");
+                push_json_string(&mut out, name);
+                let _ = write!(
+                    out,
+                    ",\"ph\":\"C\",\"ts\":{ts},\"pid\":{PID},\"tid\":{tid},\"args\":{{\"value\":{value}}}"
+                );
+            }
+        }
+        out.push('}');
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Renders the report's aggregates as a flat metrics JSON document:
+/// `{"counters": {...}, "histograms": {name: {count, sum, min, max,
+/// buckets}}}`.
+///
+/// Deliberately contains **no wall-clock data** — no timestamps,
+/// durations or thread counts — so for a deterministic flow the output
+/// is byte-identical run-to-run and at any worker-thread count (keys
+/// iterate in sorted `BTreeMap` order).
+pub fn metrics_json(report: &ObsReport) -> String {
+    let mut out = String::from("{\n  \"counters\": {");
+    for (i, (name, value)) in report.counters().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        push_json_string(&mut out, name);
+        let _ = write!(out, ": {value}");
+    }
+    out.push_str("\n  },\n  \"histograms\": {");
+    for (i, (name, hist)) in report.histograms().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        push_json_string(&mut out, name);
+        let _ = write!(
+            out,
+            ": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"buckets\": [",
+            hist.count(),
+            hist.sum(),
+            hist.min(),
+            hist.max()
+        );
+        for (j, b) in hist.buckets().iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{b}");
+        }
+        out.push_str("]}");
+    }
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Session;
+
+    #[test]
+    fn chrome_trace_has_required_fields_per_event() {
+        let session = Session::begin();
+        {
+            let _s = crate::span_with("stage.test", &[("k", 1)]);
+            crate::instant("mark", &[]);
+        }
+        crate::counter_add("c", 3);
+        crate::counter_sample("c");
+        let report = session.finish();
+        let json = crate::chrome_trace(&report);
+        assert!(json.starts_with('['));
+        assert!(json.trim_end().ends_with(']'));
+        // Three events, each carrying the mandatory keys.
+        assert_eq!(json.matches("\"ph\":").count(), 3);
+        assert_eq!(json.matches("\"name\":").count(), 3);
+        assert_eq!(json.matches("\"ts\":").count(), 3);
+        assert_eq!(json.matches("\"pid\":").count(), 3);
+        assert_eq!(json.matches("\"tid\":").count(), 3);
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"value\":3"));
+    }
+
+    #[test]
+    fn metrics_json_is_wall_clock_free_and_sorted() {
+        let session = Session::begin();
+        crate::counter_add("zeta", 1);
+        crate::counter_add("alpha", 2);
+        crate::record("h", 7);
+        let report = session.finish();
+        let json = crate::metrics_json(&report);
+        assert!(!json.contains("\"ts\""));
+        assert!(!json.contains("\"dur\""));
+        let alpha = json.find("\"alpha\"").unwrap();
+        let zeta = json.find("\"zeta\"").unwrap();
+        assert!(alpha < zeta, "counters must be name-sorted");
+        assert!(json.contains("\"count\": 1"));
+        assert!(json.contains("\"sum\": 7"));
+    }
+
+    #[test]
+    fn empty_report_exports_are_valid_shells() {
+        let report = Session::begin().finish();
+        assert_eq!(crate::chrome_trace(&report).trim(), "[\n]");
+        let metrics = crate::metrics_json(&report);
+        assert!(metrics.contains("\"counters\""));
+        assert!(metrics.contains("\"histograms\""));
+    }
+}

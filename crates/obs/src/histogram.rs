@@ -1,0 +1,145 @@
+//! Fixed-bucket histograms for hot-path value distributions.
+
+/// Number of power-of-two buckets; values ≥ 2^(BUCKETS−2) share the last.
+const BUCKETS: usize = 17;
+
+/// A power-of-two-bucketed histogram of `u64` samples.
+///
+/// Bucket `0` counts zeros, bucket `i ≥ 1` counts values in
+/// `[2^(i−1), 2^i)`, and the final bucket absorbs everything larger.
+/// All state is integral, so merging and exporting are exactly
+/// reproducible — no floating-point quantiles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one sample. The sum saturates rather than wraps.
+    pub fn observe(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[Self::bucket_of(value)] += 1;
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+    }
+
+    fn bucket_of(value: u64) -> usize {
+        ((u64::BITS - value.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The bucket counts, low to high.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_follow_powers_of_two() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 2, 3, 4, 1024, u64::MAX] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.buckets()[0], 1); // 0
+        assert_eq!(h.buckets()[1], 1); // 1
+        assert_eq!(h.buckets()[2], 2); // 2, 3
+        assert_eq!(h.buckets()[3], 1); // 4
+        assert_eq!(h.buckets()[11], 1); // 1024
+        assert_eq!(h.buckets()[BUCKETS - 1], 1); // overflow bucket
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero_min() {
+        let h = Histogram::default();
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn merge_matches_sequential_observation() {
+        let mut all = Histogram::default();
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        for v in 0..100u64 {
+            all.observe(v * 31 % 257);
+            if v % 2 == 0 {
+                a.observe(v * 31 % 257);
+            } else {
+                b.observe(v * 31 % 257);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn merging_empty_is_identity() {
+        let mut h = Histogram::default();
+        h.observe(5);
+        let before = h.clone();
+        h.merge(&Histogram::default());
+        assert_eq!(h, before);
+    }
+}

@@ -40,6 +40,33 @@ struct Open {
     idx: u32,
 }
 
+/// Per-query kernel counters, accumulated locally (plain integer adds)
+/// and flushed to `pacor-obs` once per query — the hot loops never
+/// touch thread-local state, so an unconfigured run pays only one
+/// `pacor_obs::active()` check per query.
+#[derive(Debug, Clone, Copy, Default)]
+struct KernelStats {
+    expansions: u64,
+    bucket_pushes: u64,
+    heap_pushes: u64,
+}
+
+impl KernelStats {
+    /// Flushes the per-query counts into the active recording frame,
+    /// if any. `resets` distinguishes flat-kernel queries (which bump
+    /// the scratch generation) from reference-kernel queries.
+    fn flush(&self, resets: u64) {
+        if !pacor_obs::active() {
+            return;
+        }
+        pacor_obs::counter_add("astar.queries", 1);
+        pacor_obs::counter_add("astar.scratch_resets", resets);
+        pacor_obs::counter_add("astar.expansions", self.expansions);
+        pacor_obs::counter_add("astar.bucket_pushes", self.bucket_pushes);
+        pacor_obs::counter_add("astar.heap_pushes", self.heap_pushes);
+    }
+}
+
 /// Orders like [`Point`]'s derived `Ord` (x, then y) for in-bounds
 /// (non-negative) coordinates.
 #[inline]
@@ -68,6 +95,8 @@ pub struct AStarScratch {
     buckets: Vec<Vec<Open>>,
     /// Heap for history-weighted searches: `(f, g, point key, idx)`.
     heap: BinaryHeap<Reverse<(u64, u64, u64, u32)>>,
+    /// Per-query kernel counters, reset by [`AStarScratch::begin`].
+    stats: KernelStats,
 }
 
 impl AStarScratch {
@@ -100,6 +129,7 @@ impl AStarScratch {
             bucket.clear();
         }
         self.heap.clear();
+        self.stats = KernelStats::default();
     }
 
     #[inline]
@@ -205,6 +235,43 @@ impl<'a> AStar<'a> {
         }
 
         scratch.begin(width, height);
+        // Monomorphize on whether a recording frame is listening: the
+        // untracked instantiation compiles the counter updates away
+        // entirely, so unconfigured runs keep the pre-obs codegen. The
+        // tracked twin stays outlined so only one copy of the search
+        // loop lands in this (hot) function body.
+        if pacor_obs::active() {
+            self.flat_search_tracked(sources, targets, scratch)
+        } else {
+            self.flat_search::<false>(sources, targets, scratch)
+        }
+    }
+
+    /// The recording variant of the kernel: counts expansions and queue
+    /// pushes, then flushes them into the active `pacor-obs` frame.
+    #[cold]
+    #[inline(never)]
+    fn flat_search_tracked(
+        &self,
+        sources: &[Point],
+        targets: &[Point],
+        scratch: &mut AStarScratch,
+    ) -> Option<GridPath> {
+        let result = self.flat_search::<true>(sources, targets, scratch);
+        scratch.stats.flush(1);
+        result
+    }
+
+    /// The flat-kernel search body, monomorphized on `TRACK`: the
+    /// `false` instantiation carries no counter updates at all.
+    #[inline(always)]
+    fn flat_search<const TRACK: bool>(
+        &self,
+        sources: &[Point],
+        targets: &[Point],
+        scratch: &mut AStarScratch,
+    ) -> Option<GridPath> {
+        let width = scratch.width;
         let generation = scratch.generation;
         let index = |p: Point| p.y as usize * width + p.x as usize;
 
@@ -248,21 +315,29 @@ impl<'a> AStar<'a> {
                         key: point_key(s),
                         idx: i as u32,
                     });
+                    if TRACK {
+                        scratch.stats.bucket_pushes += 1;
+                    }
                 }
-                Some(_) => scratch.heap.push(Reverse((f, 0, point_key(s), i as u32))),
+                Some(_) => {
+                    scratch.heap.push(Reverse((f, 0, point_key(s), i as u32)));
+                    if TRACK {
+                        scratch.stats.heap_pushes += 1;
+                    }
+                }
             }
         }
 
         match self.history {
-            None => self.drain_buckets(scratch, generation, h),
-            Some(_) => self.drain_heap(scratch, generation, h),
+            None => self.drain_buckets::<TRACK>(scratch, generation, h),
+            Some(_) => self.drain_heap::<TRACK>(scratch, generation, h),
         }
     }
 
     /// Unit-cost search: bucket queue keyed by f / SCALE. The Manhattan
     /// heuristic is consistent, so f never decreases and a single cursor
     /// sweeps the buckets front to back.
-    fn drain_buckets(
+    fn drain_buckets<const TRACK: bool>(
         &self,
         scratch: &mut AStarScratch,
         generation: u32,
@@ -303,6 +378,9 @@ impl<'a> AStar<'a> {
             };
             let e = scratch.buckets[cursor].swap_remove(pos);
             let p_idx = e.idx as usize;
+            if TRACK {
+                scratch.stats.expansions += 1;
+            }
             if scratch.target_stamp[p_idx] == generation {
                 return Some(scratch.reconstruct(p_idx));
             }
@@ -340,6 +418,9 @@ impl<'a> AStar<'a> {
                         key: point_key(q),
                         idx: qi as u32,
                     });
+                    if TRACK {
+                        scratch.stats.bucket_pushes += 1;
+                    }
                 }
             }
         }
@@ -348,7 +429,7 @@ impl<'a> AStar<'a> {
     /// History-weighted search: fractional step costs leave the bucket
     /// grid, so fall back to a heap over `(f, g, point key, idx)` — the
     /// same ordering as the reference kernel's `(f, g, Point)`.
-    fn drain_heap(
+    fn drain_heap<const TRACK: bool>(
         &self,
         scratch: &mut AStarScratch,
         generation: u32,
@@ -359,6 +440,9 @@ impl<'a> AStar<'a> {
             let p_idx = idx as usize;
             if scratch.g[p_idx] < g {
                 continue; // stale entry
+            }
+            if TRACK {
+                scratch.stats.expansions += 1;
             }
             if scratch.target_stamp[p_idx] == generation {
                 return Some(scratch.reconstruct(p_idx));
@@ -389,6 +473,9 @@ impl<'a> AStar<'a> {
                     scratch
                         .heap
                         .push(Reverse((ng + h(q), ng, point_key(q), qi as u32)));
+                    if TRACK {
+                        scratch.stats.heap_pushes += 1;
+                    }
                 }
             }
         }
@@ -402,6 +489,38 @@ impl<'a> AStar<'a> {
         if sources.is_empty() || targets.is_empty() {
             return None;
         }
+        if pacor_obs::active() {
+            self.reference_search_tracked(sources, targets)
+        } else {
+            let mut stats = KernelStats::default();
+            self.reference_search::<false>(sources, targets, &mut stats)
+        }
+    }
+
+    /// The recording variant of the reference kernel; see
+    /// [`AStar::flat_search_tracked`].
+    #[cold]
+    #[inline(never)]
+    fn reference_search_tracked(
+        &self,
+        sources: &[Point],
+        targets: &[Point],
+    ) -> Option<GridPath> {
+        let mut stats = KernelStats::default();
+        let result = self.reference_search::<true>(sources, targets, &mut stats);
+        stats.flush(0);
+        result
+    }
+
+    /// The reference-kernel search body, split out so its counters
+    /// flush on every exit path.
+    #[inline(always)]
+    fn reference_search<const TRACK: bool>(
+        &self,
+        sources: &[Point],
+        targets: &[Point],
+        stats: &mut KernelStats,
+    ) -> Option<GridPath> {
         let target_set: HashSet<Point> = targets.iter().copied().collect();
         for &s in sources {
             if target_set.contains(&s) {
@@ -424,11 +543,17 @@ impl<'a> AStar<'a> {
         for &s in sources {
             dist.insert(s, 0);
             heap.push(Reverse((h(s), 0, s)));
+            if TRACK {
+                stats.heap_pushes += 1;
+            }
         }
 
         while let Some(Reverse((_, g, p))) = heap.pop() {
             if dist.get(&p).copied().unwrap_or(u64::MAX) < g {
                 continue;
+            }
+            if TRACK {
+                stats.expansions += 1;
             }
             if target_set.contains(&p) {
                 // Reconstruct.
@@ -451,6 +576,9 @@ impl<'a> AStar<'a> {
                     dist.insert(q, ng);
                     prev.insert(q, p);
                     heap.push(Reverse((ng + h(q), ng, q)));
+                    if TRACK {
+                        stats.heap_pushes += 1;
+                    }
                 }
             }
         }

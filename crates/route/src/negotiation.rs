@@ -148,6 +148,7 @@ impl NegotiationRouter {
     /// in `obs` **only** when the whole set completes (so the caller can
     /// stack stages); on failure `obs` is restored.
     pub fn route_all(&self, obs: &mut ObsMap, edges: &[RouteRequest]) -> NegotiationOutcome {
+        let _span = pacor_obs::span_with("negotiate", &[("edges", edges.len() as u64)]);
         let mut history = HistoryCost::with_params(obs.width(), obs.height(), self.base, self.alpha);
         let outer_cp = obs.checkpoint();
         let mut iterations = 0u32;
@@ -155,6 +156,8 @@ impl NegotiationRouter {
         let order = self.ordering.order(edges);
         loop {
             iterations += 1;
+            pacor_obs::counter_add("negotiate.rounds", 1);
+            let _round = pacor_obs::span_with("negotiate.round", &[("round", iterations as u64)]);
             let cp = obs.checkpoint();
             let mut paths: Vec<Option<GridPath>> = vec![None; edges.len()];
             let mut done = true;
@@ -195,6 +198,7 @@ impl NegotiationRouter {
             }
             // Steps 17–19: bump history along every routed path, then rip
             // all paths up.
+            pacor_obs::counter_add("negotiate.ripups", paths.iter().flatten().count() as u64);
             history.bump_all(paths.iter().flatten().map(|p| p.cells()));
             obs.rollback(cp);
         }

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! pacor synth <design> [seed]                    write a problem JSON to stdout
-//! pacor route [--threads N] <problem.json|design>   run the flow, report JSON to stdout
+//! pacor route [options] <problem.json|design>    run the flow, report JSON to stdout
 //! pacor render [--threads N] <problem.json|design>  run the flow, SVG to stdout
 //! pacor table2 [--full] [--threads N]            regenerate the paper's Table 2
 //! ```
@@ -11,8 +11,19 @@
 //! treated as a path to a problem JSON produced by `pacor synth` (or by
 //! hand — the schema is `pacor::Problem`'s serde form).
 //!
-//! `--threads N` fans the data-parallel flow stages out over `N` worker
-//! threads; results are bit-identical at any value (see docs/GUIDE.md).
+//! `route` options:
+//!
+//! * `--threads N` — fan the data-parallel flow stages out over `N`
+//!   worker threads; results are bit-identical at any value (see
+//!   docs/GUIDE.md).
+//! * `--trace-out <path>` — write the run's Chrome trace-event JSON
+//!   (loadable in `chrome://tracing` or Perfetto).
+//! * `--metrics-out <path>` — write the run's flat metrics JSON
+//!   (counters + histograms; byte-identical at any `--threads`).
+//! * `--quiet` — suppress the report JSON on stdout.
+//!
+//! Unknown `--flags` are rejected with an error rather than silently
+//! treated as file names.
 
 use pacor::{BenchDesign, FlowConfig, FlowVariant, PacorFlow, Problem, RouteReport};
 
@@ -25,7 +36,7 @@ fn main() {
         Some("table2") => cmd_table2(&args[1..]),
         _ => {
             eprintln!(
-                "usage: pacor synth <design> [seed]\n       pacor route [--threads N] <problem.json|design>\n       pacor render [--threads N] <problem.json|design>\n       pacor table2 [--full] [--threads N]"
+                "usage: pacor synth <design> [seed]\n       pacor route [--threads N] [--trace-out FILE] [--metrics-out FILE] [--quiet] <problem.json|design>\n       pacor render [--threads N] <problem.json|design>\n       pacor table2 [--full] [--threads N]"
             );
             2
         }
@@ -46,27 +57,57 @@ fn design_of(name: &str) -> Option<BenchDesign> {
     }
 }
 
-/// Extracts `--threads N` from `args`, returning the thread count and
-/// the remaining positional arguments.
-fn parse_threads(args: &[String]) -> Result<(usize, Vec<&String>), String> {
-    let mut threads = 1usize;
-    let mut rest = Vec::new();
+/// Parsed command options.
+#[derive(Debug, Default)]
+struct Options {
+    threads: usize,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    quiet: bool,
+    full: bool,
+    positional: Vec<String>,
+}
+
+/// Parses `args` accepting only the flags named in `allowed`. Any other
+/// `--flag` — including an allowed flag's typo — is an error, so a
+/// mistyped option can never be swallowed as a file name.
+fn parse_options(args: &[String], allowed: &[&str]) -> Result<Options, String> {
+    let mut opts = Options {
+        threads: 1,
+        ..Options::default()
+    };
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        if a == "--threads" {
-            let Some(v) = it.next() else {
-                return Err("--threads requires a value".into());
-            };
-            threads = v
-                .parse::<usize>()
-                .ok()
-                .filter(|&n| n >= 1)
-                .ok_or_else(|| format!("--threads: expected a positive integer, got {v:?}"))?;
-        } else {
-            rest.push(a);
+        let flag = a.as_str();
+        if flag.starts_with("--") && !allowed.contains(&flag) {
+            return Err(if allowed.is_empty() {
+                format!("unknown option {flag} (this command takes no options)")
+            } else {
+                format!("unknown option {flag} (supported: {})", allowed.join(" "))
+            });
+        }
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match flag {
+            "--threads" => {
+                let v = value()?;
+                opts.threads = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--threads: expected a positive integer, got {v:?}"))?;
+            }
+            "--trace-out" => opts.trace_out = Some(value()?),
+            "--metrics-out" => opts.metrics_out = Some(value()?),
+            "--quiet" => opts.quiet = true,
+            "--full" => opts.full = true,
+            _ => opts.positional.push(a.clone()),
         }
     }
-    Ok((threads, rest))
+    Ok(opts)
 }
 
 fn load_problem(arg: &str, seed: u64) -> Result<Problem, String> {
@@ -78,7 +119,14 @@ fn load_problem(arg: &str, seed: u64) -> Result<Problem, String> {
 }
 
 fn cmd_synth(args: &[String]) -> i32 {
-    let Some(name) = args.first() else {
+    let opts = match parse_options(args, &[]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("synth: {e}");
+            return 2;
+        }
+    };
+    let Some(name) = opts.positional.first() else {
         eprintln!("synth: missing design name");
         return 2;
     };
@@ -86,7 +134,8 @@ fn cmd_synth(args: &[String]) -> i32 {
         eprintln!("synth: unknown design {name}");
         return 2;
     };
-    let seed = args
+    let seed = opts
+        .positional
         .get(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(42u64);
@@ -98,15 +147,32 @@ fn cmd_synth(args: &[String]) -> i32 {
     0
 }
 
+/// Writes the observability exports requested by `--trace-out` /
+/// `--metrics-out` from a finished outer session.
+fn write_exports(opts: &Options, report: &pacor::obs::ObsReport) -> Result<(), String> {
+    if let Some(path) = &opts.trace_out {
+        std::fs::write(path, pacor::obs::chrome_trace(report))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    if let Some(path) = &opts.metrics_out {
+        std::fs::write(path, pacor::obs::metrics_json(report))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    Ok(())
+}
+
 fn cmd_route(args: &[String]) -> i32 {
-    let (threads, rest) = match parse_threads(args) {
-        Ok(p) => p,
+    let opts = match parse_options(
+        args,
+        &["--threads", "--trace-out", "--metrics-out", "--quiet"],
+    ) {
+        Ok(o) => o,
         Err(e) => {
             eprintln!("route: {e}");
             return 2;
         }
     };
-    let Some(arg) = rest.first() else {
+    let Some(arg) = opts.positional.first() else {
         eprintln!("route: missing problem file or design name");
         return 2;
     };
@@ -117,12 +183,26 @@ fn cmd_route(args: &[String]) -> i32 {
             return 1;
         }
     };
-    match PacorFlow::new(FlowConfig::default().with_threads(threads)).run(&problem) {
+    // An outer observability session captures the flow's events (the
+    // flow's own nested session merges upward into it on finish).
+    let wants_obs = opts.trace_out.is_some() || opts.metrics_out.is_some();
+    let session = wants_obs.then(pacor::obs::Session::begin);
+    let result = PacorFlow::new(FlowConfig::default().with_threads(opts.threads)).run(&problem);
+    let obs_report = session.map(pacor::obs::Session::finish);
+    match result {
         Ok(report) => {
-            println!(
-                "{}",
-                serde_json::to_string_pretty(&report).expect("reports serialize")
-            );
+            if let Some(obs_report) = &obs_report {
+                if let Err(e) = write_exports(&opts, obs_report) {
+                    eprintln!("route: {e}");
+                    return 1;
+                }
+            }
+            if !opts.quiet {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&report).expect("reports serialize")
+                );
+            }
             0
         }
         Err(e) => {
@@ -133,14 +213,14 @@ fn cmd_route(args: &[String]) -> i32 {
 }
 
 fn cmd_render(args: &[String]) -> i32 {
-    let (threads, rest) = match parse_threads(args) {
-        Ok(p) => p,
+    let opts = match parse_options(args, &["--threads"]) {
+        Ok(o) => o,
         Err(e) => {
             eprintln!("render: {e}");
             return 2;
         }
     };
-    let Some(arg) = rest.first() else {
+    let Some(arg) = opts.positional.first() else {
         eprintln!("render: missing problem file or design name");
         return 2;
     };
@@ -151,7 +231,7 @@ fn cmd_render(args: &[String]) -> i32 {
             return 1;
         }
     };
-    match PacorFlow::new(FlowConfig::default().with_threads(threads)).run_detailed(&problem) {
+    match PacorFlow::new(FlowConfig::default().with_threads(opts.threads)).run_detailed(&problem) {
         Ok((_, routed)) => {
             print!("{}", pacor::render_svg(&problem, &routed, 12));
             0
@@ -164,15 +244,14 @@ fn cmd_render(args: &[String]) -> i32 {
 }
 
 fn cmd_table2(args: &[String]) -> i32 {
-    let (threads, rest) = match parse_threads(args) {
-        Ok(p) => p,
+    let opts = match parse_options(args, &["--full", "--threads"]) {
+        Ok(o) => o,
         Err(e) => {
             eprintln!("table2: {e}");
             return 2;
         }
     };
-    let full = rest.iter().any(|a| *a == "--full");
-    let designs: Vec<BenchDesign> = if full {
+    let designs: Vec<BenchDesign> = if opts.full {
         BenchDesign::ALL.to_vec()
     } else {
         BenchDesign::SYNTH.to_vec()
@@ -181,7 +260,7 @@ fn cmd_table2(args: &[String]) -> i32 {
     for d in designs {
         let problem = d.synthesize(42);
         for v in FlowVariant::ALL {
-            let config = FlowConfig::for_variant(v).with_threads(threads);
+            let config = FlowConfig::for_variant(v).with_threads(opts.threads);
             match PacorFlow::new(config).run(&problem) {
                 Ok(r) => println!("{}", r.table_row()),
                 Err(e) => {

@@ -69,6 +69,77 @@ fn route_rejects_garbage_file() {
 }
 
 #[test]
+fn route_rejects_unknown_flag() {
+    let out = pacor(&["route", "--tracee-out", "x.json", "S1"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown option --tracee-out"), "{err}");
+    assert!(err.contains("--trace-out"), "should list supported flags: {err}");
+}
+
+#[test]
+fn synth_rejects_any_flag() {
+    let out = pacor(&["synth", "--threads", "2", "S1"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown option --threads"));
+}
+
+#[test]
+fn route_quiet_suppresses_report() {
+    let out = pacor(&["route", "--quiet", "S1"]);
+    assert!(out.status.success());
+    assert!(out.stdout.is_empty(), "--quiet must print nothing");
+}
+
+#[test]
+fn route_writes_trace_and_metrics_files() {
+    let dir = std::env::temp_dir().join("pacor_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("s1_trace.json");
+    let metrics = dir.join("s1_metrics.json");
+    let out = pacor(&[
+        "route",
+        "--quiet",
+        "--trace-out",
+        trace.to_str().unwrap(),
+        "--metrics-out",
+        metrics.to_str().unwrap(),
+        "S1",
+    ]);
+    assert!(out.status.success());
+    let trace_text = std::fs::read_to_string(&trace).unwrap();
+    assert!(trace_text.trim_start().starts_with('['));
+    assert!(trace_text.contains("\"ph\":\"X\""), "needs span events");
+    assert!(trace_text.contains("stage.escape"));
+    let metrics_text = std::fs::read_to_string(&metrics).unwrap();
+    assert!(metrics_text.contains("\"counters\""));
+    assert!(metrics_text.contains("astar.expansions"));
+}
+
+#[test]
+fn metrics_out_identical_at_one_and_four_threads() {
+    let dir = std::env::temp_dir().join("pacor_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let run = |threads: &str, file: &str| {
+        let path = dir.join(file);
+        let out = pacor(&[
+            "route",
+            "--quiet",
+            "--threads",
+            threads,
+            "--metrics-out",
+            path.to_str().unwrap(),
+            "S2",
+        ]);
+        assert!(out.status.success());
+        std::fs::read(&path).unwrap()
+    };
+    let single = run("1", "m1.json");
+    let multi = run("4", "m4.json");
+    assert_eq!(single, multi, "metrics bytes must not depend on --threads");
+}
+
+#[test]
 fn render_emits_svg() {
     let out = pacor(&["render", "S1"]);
     assert!(out.status.success());

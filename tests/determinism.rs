@@ -1,20 +1,30 @@
 //! Determinism guarantees of the flow (docs/GUIDE.md §"Determinism"):
 //! for a fixed problem, the flow produces byte-identical reports and
 //! routed geometry run-to-run AND at any worker-thread count. The only
-//! nondeterministic fields are the wall-clock ones (`runtime`,
-//! `stage_timings`), which are normalized away before comparing.
+//! nondeterministic fields are the wall-clock ones (`runtime`, the
+//! stage durations and the configured `threads` inside `metrics`),
+//! which are normalized away before comparing — the `metrics.counters`
+//! totals and task counts are deterministic and compared in full.
 
 use pacor_repro::pacor::{
-    BenchDesign, FlowConfig, PacorFlow, RouteReport, RoutedCluster, StageTimings,
+    BenchDesign, FlowConfig, FlowMetrics, PacorFlow, RouteReport, RoutedCluster,
 };
 use std::time::Duration;
 
 /// Serialized report with the wall-clock fields (and the machine-local
-/// parallelism info they carry) zeroed out.
+/// parallelism info they carry) zeroed out. Everything else — including
+/// the full observability counter totals and the per-stage task counts —
+/// stays in the comparison.
 fn normalized(report: &RouteReport) -> String {
     let mut r = report.clone();
     r.runtime = Duration::ZERO;
-    r.stage_timings = StageTimings::default();
+    r.metrics = FlowMetrics {
+        threads: 0,
+        lm_candidate_tasks: r.metrics.lm_candidate_tasks,
+        lm_scoring_tasks: r.metrics.lm_scoring_tasks,
+        counters: r.metrics.counters.clone(),
+        ..FlowMetrics::default()
+    };
     serde_json::to_string(&r).expect("reports serialize")
 }
 
@@ -53,6 +63,35 @@ fn thread_count_does_not_change_the_result() {
             single.1, multi.1,
             "{design:?} geometry differs between 1 and 4 threads"
         );
+    }
+}
+
+#[test]
+fn flow_metrics_counters_are_thread_count_invariant() {
+    // The counter totals come from per-task frames merged in item order,
+    // so every total — A* expansions included — must agree exactly
+    // between a sequential and a fanned-out run.
+    for design in [BenchDesign::S1, BenchDesign::S2] {
+        let problem = design.synthesize(42);
+        let run = |threads: usize| {
+            PacorFlow::new(FlowConfig::default().with_threads(threads))
+                .run(&problem)
+                .expect("bench designs route")
+                .metrics
+        };
+        let single = run(1);
+        let multi = run(4);
+        assert_eq!(
+            single.counters, multi.counters,
+            "{design:?} counter totals differ between 1 and 4 threads"
+        );
+        assert_eq!(single.lm_candidate_tasks, multi.lm_candidate_tasks);
+        assert_eq!(single.lm_scoring_tasks, multi.lm_scoring_tasks);
+        assert!(
+            single.counter("astar.expansions") > 0,
+            "{design:?} must report A* work"
+        );
+        assert!(single.counter("astar.queries") > 0);
     }
 }
 

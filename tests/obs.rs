@@ -1,0 +1,101 @@
+//! Observability-layer integration tests: trace/metrics exports of a
+//! real flow run, their schema shape, and their determinism.
+
+use pacor_repro::pacor::{obs, BenchDesign, FlowConfig, PacorFlow};
+use serde::Value;
+
+/// Runs a design under an outer observability session (the way the CLI
+/// wires `--trace-out`) and returns the session's report.
+fn traced_run(design: BenchDesign, threads: usize) -> obs::ObsReport {
+    let problem = design.synthesize(42);
+    let session = obs::Session::begin();
+    PacorFlow::new(FlowConfig::default().with_threads(threads))
+        .run(&problem)
+        .expect("bench designs route");
+    session.finish()
+}
+
+#[test]
+fn chrome_trace_is_an_array_of_well_formed_events() {
+    let report = traced_run(BenchDesign::S1, 1);
+    let json = obs::chrome_trace(&report);
+    let value: Value = serde_json::from_str(&json).expect("trace is valid JSON");
+    let Value::Array(events) = &value else {
+        panic!("trace root must be a JSON array");
+    };
+    assert!(!events.is_empty());
+    for event in events {
+        // Every trace event object carries the mandatory keys.
+        for key in ["name", "ph", "ts", "pid", "tid"] {
+            event
+                .field(key)
+                .unwrap_or_else(|_| panic!("event missing `{key}`: {event:?}"));
+        }
+        assert!(
+            matches!(event.field("name").unwrap(), Value::Str(_)),
+            "name must be a string"
+        );
+        let Value::Str(ph) = event.field("ph").unwrap() else {
+            panic!("ph must be a string");
+        };
+        assert!(["X", "i", "C"].contains(&ph.as_str()), "unknown phase {ph}");
+    }
+}
+
+#[test]
+fn trace_spans_cover_every_stage() {
+    let report = traced_run(BenchDesign::S1, 1);
+    for stage in [
+        "stage.clustering",
+        "stage.lm_routing",
+        "stage.mst_routing",
+        "stage.escape",
+        "stage.detour",
+    ] {
+        assert!(
+            report.span_count(stage) >= 1,
+            "missing span for {stage}"
+        );
+    }
+    // The A* expansion counter is exported as a plottable series.
+    let has_series = report.events().iter().any(|e| {
+        matches!(e, obs::TraceEvent::Counter { name, .. } if *name == "astar.expansions")
+    });
+    assert!(has_series, "expected an astar.expansions counter series");
+}
+
+#[test]
+fn metrics_json_is_byte_identical_across_thread_counts() {
+    for design in [BenchDesign::S1, BenchDesign::S2] {
+        let single = obs::metrics_json(&traced_run(design, 1));
+        let multi = obs::metrics_json(&traced_run(design, 4));
+        assert_eq!(single, multi, "{design:?} metrics differ by thread count");
+        // And it must be valid JSON with the two expected sections.
+        let value: Value = serde_json::from_str(&single).expect("metrics JSON parses");
+        value.field("counters").expect("counters section");
+        value.field("histograms").expect("histograms section");
+    }
+}
+
+#[test]
+fn flow_session_populates_report_counters() {
+    let problem = BenchDesign::S1.synthesize(42);
+    // No outer session: the flow's own nested session must still fill
+    // the report's metrics.
+    let report = PacorFlow::new(FlowConfig::default())
+        .run(&problem)
+        .expect("routes");
+    assert!(report.metrics.counter("astar.expansions") > 0);
+    assert!(report.metrics.counter("astar.queries") > 0);
+    assert!(report.metrics.counter("negotiate.rounds") > 0);
+    // Counters arrive name-sorted (the binary-search lookup relies on it).
+    let names: Vec<&str> = report
+        .metrics
+        .counters
+        .iter()
+        .map(|(n, _)| n.as_str())
+        .collect();
+    let mut sorted = names.clone();
+    sorted.sort_unstable();
+    assert_eq!(names, sorted);
+}

@@ -2,7 +2,9 @@
 //! and reports must survive the JSON interchange the CLI uses.
 
 use pacor_repro::grid::{DesignRules, GridPath, Point, Rect};
-use pacor_repro::pacor::{BenchDesign, FlowConfig, FlowVariant, PacorFlow, Problem, RouteReport};
+use pacor_repro::pacor::{
+    BenchDesign, FlowConfig, FlowMetrics, FlowVariant, PacorFlow, Problem, RouteReport,
+};
 use pacor_repro::valves::{ActivationSequence, Cluster, ClusterId, Valve, ValveId};
 
 fn roundtrip<T>(value: &T) -> T
@@ -67,8 +69,31 @@ fn whole_problem() {
 fn whole_report() {
     let problem = BenchDesign::S1.synthesize(42);
     let report = PacorFlow::new(FlowConfig::default()).run(&problem).unwrap();
+    assert!(
+        !report.metrics.counters.is_empty(),
+        "a real run must carry counters through the round-trip"
+    );
     let back: RouteReport = roundtrip(&report);
     assert_eq!(back, report);
+}
+
+#[test]
+fn flow_metrics_roundtrip() {
+    let metrics = FlowMetrics {
+        clustering: std::time::Duration::from_micros(120),
+        lm_routing: std::time::Duration::from_millis(3),
+        threads: 4,
+        lm_candidate_tasks: 2,
+        lm_scoring_tasks: 1,
+        counters: vec![
+            ("astar.expansions".to_string(), 12345),
+            ("negotiate.rounds".to_string(), 2),
+        ],
+        ..FlowMetrics::default()
+    };
+    let back = roundtrip(&metrics);
+    assert_eq!(back, metrics);
+    assert_eq!(back.counter("astar.expansions"), 12345);
 }
 
 #[test]
