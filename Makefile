@@ -2,11 +2,12 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test clippy bench tables obs-smoke
+.PHONY: verify build test clippy bench tables obs-smoke bench-flow bench-smoke
 
 # The acceptance gate: release build, full test suite, zero-warning
-# lints, and a smoke-run of the observability exports.
-verify: build test clippy obs-smoke
+# lints, a smoke-run of the observability exports, and a smoke-run of
+# the end-to-end flow benchmark harness.
+verify: build test clippy obs-smoke bench-smoke
 
 build:
 	$(CARGO) build --release --workspace
@@ -19,6 +20,16 @@ clippy:
 
 bench:
 	$(CARGO) bench -p pacor-bench --bench kernels
+
+# The full end-to-end flow benchmark: every chip under both rip-up
+# policies, written to BENCH_flow.json at the repo root (takes minutes).
+bench-flow:
+	$(CARGO) run --release -p pacor-bench --bin bench_flow -- --repeat 5 --out BENCH_flow.json
+
+# Cheap harness exercise for CI: one tiny chip, result discarded.
+bench-smoke:
+	$(CARGO) run --release -p pacor-bench --bin bench_flow -- --smoke --repeat 1 --out target/bench_flow_smoke.json
+	python3 -c "import json; r = json.load(open('target/bench_flow_smoke.json')); assert len(r['entries']) == 2, r; print('bench-smoke: harness produced', len(r['entries']), 'entries')"
 
 tables:
 	$(CARGO) run --release -p pacor-bench --bin tables -- all

@@ -1,0 +1,84 @@
+//! `bench_flow` — end-to-end PACOR flow benchmark over both rip-up
+//! policies, writing `BENCH_flow.json`.
+//!
+//! ```text
+//! bench_flow [--out FILE] [--repeat N] [--smoke]
+//! ```
+//!
+//! Runs the full flow (clustering → LM routing → MST routing → escape →
+//! detour) over the dense synthesized chips of
+//! [`pacor_bench::FLOW_BENCH_CHIPS`], once per rip-up policy, and records
+//! wall-clock (best of `--repeat` runs, default 3) plus the
+//! `negotiate.rounds` / `negotiate.ripups` / `astar.scratch_resets`
+//! counter totals. `--smoke` swaps the chip list for the single tiny
+//! [`pacor_bench::FLOW_SMOKE_CHIP`] so CI can exercise the harness
+//! cheaply. Default output path: `BENCH_flow.json`.
+
+use pacor::route::RipUpPolicy;
+use pacor::DesignParams;
+use pacor_bench::{
+    run_flow_bench, FlowBenchReport, BENCH_SEED, FLOW_BENCH_CHIPS, FLOW_SMOKE_CHIP,
+};
+
+fn main() {
+    let mut out = String::from("BENCH_flow.json");
+    let mut repeat = 3u32;
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => match args.next() {
+                Some(v) => out = v,
+                None => return usage("--out requires a value"),
+            },
+            "--repeat" => match args.next().and_then(|v| v.parse::<u32>().ok()) {
+                Some(n) if n >= 1 => repeat = n,
+                _ => return usage("--repeat requires a positive integer"),
+            },
+            "--smoke" => smoke = true,
+            other => return usage(&format!("unknown argument {other}")),
+        }
+    }
+
+    let chips: Vec<DesignParams> = if smoke {
+        vec![FLOW_SMOKE_CHIP]
+    } else {
+        FLOW_BENCH_CHIPS.to_vec()
+    };
+
+    let mut report = FlowBenchReport {
+        seed: BENCH_SEED,
+        repeat,
+        entries: Vec::new(),
+    };
+    for chip in chips {
+        for policy in [RipUpPolicy::Full, RipUpPolicy::Incremental] {
+            // Counter totals come from the flow's own per-run obs
+            // session (carried in the report), so entries cannot bleed.
+            let entry = run_flow_bench(chip, policy, BENCH_SEED, repeat);
+            eprintln!(
+                "{:<12} {:<12} {:>9.1} ms  rounds {:>4}  ripups {:>5}  resets {:>7}  complete {:>5.1}%",
+                entry.chip,
+                entry.policy,
+                entry.wall_ms,
+                entry.rounds,
+                entry.ripups,
+                entry.scratch_resets,
+                entry.completion_rate * 100.0
+            );
+            report.entries.push(entry);
+        }
+    }
+
+    let json = serde_json::to_string_pretty(&report).expect("reports serialize");
+    if let Err(e) = std::fs::write(&out, json + "\n") {
+        eprintln!("bench_flow: writing {out}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("bench_flow: wrote {out}");
+}
+
+fn usage(err: &str) {
+    eprintln!("bench_flow: {err}\nusage: bench_flow [--out FILE] [--repeat N] [--smoke]");
+    std::process::exit(2);
+}

@@ -167,6 +167,19 @@ impl BenchDesign {
     }
 }
 
+/// Synthesizes a problem from explicit parameters rather than one of the
+/// paper's designs. The end-to-end benchmark harness uses this to build
+/// chips denser than Table 1's, where negotiation actually has to rip up
+/// and retry.
+///
+/// # Panics
+///
+/// Panics when the parameters leave no room to place every cluster (the
+/// synthesizer keeps a one-cell moat around valves).
+pub fn synthesize_params(p: DesignParams, seed: u64) -> Problem {
+    synthesize(p, seed)
+}
+
 /// Cluster size plan: every multi-cluster starts as a pair; spare valves
 /// are reserved for singletons (~¼ of the valves) and the rest grow the
 /// multi-clusters round-robin up to size 4.

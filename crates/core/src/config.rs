@@ -1,5 +1,6 @@
 //! Flow configuration and self-comparison variants.
 
+use pacor_route::RipUpPolicy;
 use serde::{Deserialize, Serialize};
 
 /// Which version of the flow to run — the paper's Table 2 compares three.
@@ -64,6 +65,10 @@ pub struct FlowConfig {
     /// cluster order, so any value yields bit-identical routing; 1
     /// disables the fan-out entirely.
     pub thread_count: usize,
+    /// What negotiation rips up between failed rounds. `Incremental`
+    /// (the default) keeps converged paths; `Full` is the paper's
+    /// Algorithm 1 verbatim, kept for ablation.
+    pub ripup_policy: RipUpPolicy,
 }
 
 impl Default for FlowConfig {
@@ -80,6 +85,7 @@ impl Default for FlowConfig {
             exact_selection_limit: 128,
             detour_node_budget: 200_000,
             thread_count: 1,
+            ripup_policy: RipUpPolicy::default(),
         }
     }
 }
@@ -99,6 +105,12 @@ impl FlowConfig {
         self.thread_count = threads.max(1);
         self
     }
+
+    /// Sets the negotiation rip-up policy.
+    pub fn with_ripup_policy(mut self, ripup_policy: RipUpPolicy) -> Self {
+        self.ripup_policy = ripup_policy;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -115,6 +127,7 @@ mod tests {
         assert_eq!(c.history_alpha, 0.1);
         assert_eq!(c.theta, 10);
         assert_eq!(c.thread_count, 1, "parallelism is opt-in");
+        assert_eq!(c.ripup_policy, RipUpPolicy::Incremental);
     }
 
     #[test]

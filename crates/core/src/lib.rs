@@ -53,7 +53,7 @@ mod report;
 mod routed;
 mod verify;
 
-pub use bench_suite::{BenchDesign, DesignParams};
+pub use bench_suite::{synthesize_params, BenchDesign, DesignParams};
 
 /// Individual flow stages, exposed for advanced composition (custom
 /// flows, ablations, stage-level benchmarking).

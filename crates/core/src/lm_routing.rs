@@ -67,14 +67,15 @@ pub fn route_lm_clusters(
             (i, cands)
         });
 
-    // Phase 2: selection (Eqs. 2–4) or first-candidate.
+    // Phase 2: selection (Eqs. 2–4) or first-candidate. Either way the
+    // picked tree is moved out of its candidate list, not cloned.
     let mut scoring_tasks = 0usize;
     let selected: Vec<(usize, SteinerTree)> = match config.variant {
         FlowVariant::WithoutSelection => tree_clusters
-            .iter()
-            .map(|(i, c)| (*i, c[0].clone()))
+            .into_iter()
+            .map(|(i, mut c)| (i, c.swap_remove(0)))
             .collect(),
-        _ => select_trees(&tree_clusters, config, &mut scoring_tasks),
+        _ => select_trees(tree_clusters, config, &mut scoring_tasks),
     };
 
     // Phase 3: negotiation routing of all cluster edges together, dropping
@@ -98,8 +99,13 @@ pub fn route_lm_clusters(
 
     let router = NegotiationRouter::new()
         .with_gamma(config.gamma)
-        .with_history_params(config.history_base, config.history_alpha);
+        .with_history_params(config.history_base, config.history_alpha)
+        .with_ripup_policy(config.ripup_policy);
 
+    // Every cluster leaves this function exactly once — into `routed` or
+    // into `failed` — so hold them in take-able slots instead of cloning
+    // cluster + position vectors per materialization.
+    let mut slots: Vec<Option<(Cluster, Vec<Point>)>> = clusters.into_iter().map(Some).collect();
     let mut failed_idx: Vec<usize> = Vec::new();
     let mut retried: std::collections::HashSet<usize> = std::collections::HashSet::new();
     let mut routed: Vec<RoutedCluster> = Vec::new();
@@ -115,17 +121,20 @@ pub fn route_lm_clusters(
         }
         let outcome = router.route_all(obs, &requests);
         if outcome.complete {
-            // Materialize RoutedClusters in `active` order.
-            let mut cursor = 0usize;
-            for net in &active {
+            // Materialize RoutedClusters in `active` order, moving each
+            // cluster out of its slot.
+            let mut path_iter = outcome.paths.into_iter();
+            for net in std::mem::take(&mut active) {
                 let n_edges = net.edges().len();
-                let paths: Vec<GridPath> = outcome.paths[cursor..cursor + n_edges]
-                    .iter()
-                    .map(|p| p.clone().expect("complete outcome"))
+                let paths: Vec<GridPath> = path_iter
+                    .by_ref()
+                    .take(n_edges)
+                    .map(|p| p.expect("complete outcome"))
                     .collect();
-                cursor += n_edges;
-                let (cluster, positions) = &clusters[net.cluster_idx()];
-                routed.push(net.materialize(cluster.clone(), positions.clone(), paths));
+                let (cluster, positions) = slots[net.cluster_idx()]
+                    .take()
+                    .expect("cluster materialized once");
+                routed.push(net.materialize(cluster, positions, paths));
             }
             break;
         }
@@ -145,12 +154,13 @@ pub fn route_lm_clusters(
         for &ni in dropped.iter().rev() {
             let net = active.remove(ni);
             let ci = net.cluster_idx();
+            let positions = &slots[ci].as_ref().expect("cluster still pending").1;
             let is_tree = matches!(net, LmNet::Tree { .. });
-            if is_tree && !retried.contains(&ci) && clusters[ci].1.len() <= 6 {
+            if is_tree && !retried.contains(&ci) && positions.len() <= 6 {
                 retried.insert(ci);
                 pacor_obs::counter_add("lm.reconstructed", 1);
                 let alts = candidates_with_alternates(
-                    &clusters[ci].1,
+                    positions,
                     Some(obs),
                     CandidateConfig {
                         max_candidates: config.max_candidates * 2,
@@ -177,7 +187,7 @@ pub fn route_lm_clusters(
 
     let failed = failed_idx
         .into_iter()
-        .map(|i| clusters[i].clone())
+        .map(|i| slots[i].take().expect("cluster failed once"))
         .collect();
     LmOutcome {
         routed,
@@ -209,7 +219,7 @@ pub fn reroute_lm_cluster(
 type PairCost = ((usize, usize), (usize, usize), f64);
 
 fn select_trees(
-    tree_clusters: &[(usize, Vec<SteinerTree>)],
+    tree_clusters: Vec<(usize, Vec<SteinerTree>)>,
     config: &FlowConfig,
     scoring_tasks: &mut usize,
 ) -> Vec<(usize, SteinerTree)> {
@@ -268,9 +278,9 @@ fn select_trees(
 
     let sel = select_one_per_group(&inst, config.exact_selection_limit);
     tree_clusters
-        .iter()
+        .into_iter()
         .zip(&sel.picks)
-        .map(|((i, cands), &pick)| (*i, cands[pick].clone()))
+        .map(|((i, mut cands), &pick)| (i, cands.swap_remove(pick)))
         .collect()
 }
 
@@ -303,7 +313,7 @@ impl LmNet {
     }
 
     fn materialize(
-        &self,
+        self,
         cluster: Cluster,
         member_positions: Vec<Point>,
         paths: Vec<GridPath>,
@@ -313,7 +323,7 @@ impl LmNet {
                 cluster,
                 member_positions,
                 kind: RoutedKind::LmTree {
-                    tree: tree.clone(),
+                    tree,
                     edge_paths: paths,
                 },
                 escape: None,

@@ -3,7 +3,7 @@
 
 use crate::{RoutedCluster, RoutedKind};
 use pacor_grid::{GridPath, ObsMap, Point};
-use pacor_route::AStar;
+use pacor_route::{AStar, AStarScratch};
 use pacor_valves::Cluster;
 
 /// Routes one ordinary cluster: valves are connected in minimum-spanning-
@@ -18,14 +18,27 @@ pub fn route_mst_cluster(
     cluster: &Cluster,
     positions: &[Point],
 ) -> Option<RoutedCluster> {
+    let mut scratch = AStarScratch::new();
+    route_mst_owned(obs, cluster.clone(), positions.to_vec(), &mut scratch).ok()
+}
+
+/// Owned-input worker behind [`route_mst_cluster`]: consumes the cluster
+/// and positions (handing them back on failure, so the batch loop never
+/// clones) and reuses the caller's A\* scratch across clusters.
+fn route_mst_owned(
+    obs: &mut ObsMap,
+    cluster: Cluster,
+    positions: Vec<Point>,
+    scratch: &mut AStarScratch,
+) -> Result<RoutedCluster, (Cluster, Vec<Point>)> {
     assert_eq!(cluster.len(), positions.len(), "positions per member");
     if cluster.len() == 1 {
         // No internal net; the valve cell itself is the terminal. Block it
         // so other nets cannot run through the valve.
         obs.block(positions[0]);
-        return Some(RoutedCluster {
-            cluster: cluster.clone(),
-            member_positions: positions.to_vec(),
+        return Ok(RoutedCluster {
+            cluster,
+            member_positions: positions,
             kind: RoutedKind::Singleton,
             escape: None,
         });
@@ -56,7 +69,7 @@ pub fn route_mst_cluster(
     let mut net_cells: Vec<Point> = vec![positions[0]];
     let mut paths: Vec<GridPath> = Vec::new();
     for &i in &order {
-        let path = AStar::new(obs).route(&[positions[i]], &net_cells);
+        let path = AStar::new(obs).route_with_scratch(&[positions[i]], &net_cells, scratch);
         match path {
             Some(p) => {
                 obs.block_all(p.cells().iter().copied());
@@ -65,7 +78,7 @@ pub fn route_mst_cluster(
             }
             None => {
                 obs.rollback(cp);
-                return None;
+                return Err((cluster, positions));
             }
         }
     }
@@ -73,9 +86,9 @@ pub fn route_mst_cluster(
     // attached elsewhere.
     obs.block(positions[0]);
 
-    Some(RoutedCluster {
-        cluster: cluster.clone(),
-        member_positions: positions.to_vec(),
+    Ok(RoutedCluster {
+        cluster,
+        member_positions: positions,
         kind: RoutedKind::Mst { paths },
         escape: None,
     })
@@ -93,9 +106,10 @@ pub fn route_ordinary_clusters(
     pacor_obs::counter_add("mst.clusters", clusters.len() as u64);
     let mut queue: std::collections::VecDeque<(Cluster, Vec<Point>)> = clusters.into();
     let mut out = Vec::new();
+    let mut scratch = AStarScratch::new();
     while let Some((cluster, positions)) = queue.pop_front() {
-        match route_mst_cluster(obs, &cluster, &positions) {
-            Some(rc) => {
+        match route_mst_owned(obs, cluster, positions, &mut scratch) {
+            Ok(rc) => {
                 pacor_obs::counter_add(
                     "mst.edges",
                     match &rc.kind {
@@ -105,7 +119,7 @@ pub fn route_ordinary_clusters(
                 );
                 out.push(rc)
             }
-            None => match cluster.split(*next_id) {
+            Err((cluster, positions)) => match cluster.split(*next_id) {
                 Some((a, b)) => {
                     *next_id += 2;
                     pacor_obs::counter_add("mst.splits", 1);

@@ -32,32 +32,49 @@ pub struct FlowResult {
 /// reduced cost, which yields a min-cost flow for *every* intermediate
 /// flow value — exactly the behaviour needed to "route as many as
 /// possible, cheapest first".
+///
+/// Edges accumulate in a flat arena; adjacency is a CSR layout frozen
+/// lazily on [`MinCostFlow::solve`] (and rebuilt only when the graph grew
+/// since), so the augmentation loop walks two contiguous arrays instead
+/// of chasing per-node `Vec`s.
 #[derive(Debug, Clone)]
 pub struct MinCostFlow {
-    graph: Vec<Vec<usize>>, // node -> indices into `edges`
+    nodes: usize,
     edges: Vec<Edge>,
     has_negative: bool,
+    /// CSR row offsets (`nodes + 1` entries once frozen).
+    head: Vec<usize>,
+    /// CSR arc ids, grouped by tail node: arc `a` leaves `edges[a ^ 1].to`.
+    arcs: Vec<u32>,
+    /// Arena length the CSR was frozen at (`usize::MAX` = never).
+    frozen_edges: usize,
+    /// Node count the CSR was frozen at.
+    frozen_nodes: usize,
 }
 
 impl MinCostFlow {
     /// Creates a network with `n` nodes (`0..n`).
     pub fn new(n: usize) -> Self {
         Self {
-            graph: vec![Vec::new(); n],
+            nodes: n,
             edges: Vec::new(),
             has_negative: false,
+            head: Vec::new(),
+            arcs: Vec::new(),
+            frozen_edges: usize::MAX,
+            frozen_nodes: usize::MAX,
         }
     }
 
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
-        self.graph.len()
+        self.nodes
     }
 
     /// Adds a node, returning its index.
     pub fn add_node(&mut self) -> usize {
-        self.graph.push(Vec::new());
-        self.graph.len() - 1
+        self.nodes += 1;
+        self.nodes - 1
     }
 
     /// Adds a directed edge `u → v` with capacity `cap` and per-unit cost
@@ -67,20 +84,18 @@ impl MinCostFlow {
     ///
     /// Panics when an endpoint is out of range or `cap < 0`.
     pub fn add_edge(&mut self, u: usize, v: usize, cap: i64, cost: i64) -> EdgeId {
-        assert!(u < self.graph.len() && v < self.graph.len(), "endpoint out of range");
+        assert!(u < self.nodes && v < self.nodes, "endpoint out of range");
         assert!(cap >= 0, "capacity must be non-negative");
         if cost < 0 {
             self.has_negative = true;
         }
         let id = self.edges.len();
-        self.graph[u].push(id);
         self.edges.push(Edge {
             to: v,
             cap,
             cost,
             flow: 0,
         });
-        self.graph[v].push(id + 1);
         self.edges.push(Edge {
             to: u,
             cap: 0,
@@ -95,6 +110,39 @@ impl MinCostFlow {
         self.edges[id.0].flow
     }
 
+    /// (Re)builds the CSR adjacency when edges or nodes were added since
+    /// the last freeze. Counting sort over arc tails: arc `a` (forward or
+    /// residual) leaves the head of its twin, `edges[a ^ 1].to`.
+    fn freeze_csr(&mut self) {
+        if self.frozen_edges == self.edges.len() && self.frozen_nodes == self.nodes {
+            return;
+        }
+        self.head.clear();
+        self.head.resize(self.nodes + 1, 0);
+        for a in 0..self.edges.len() {
+            self.head[self.edges[a ^ 1].to + 1] += 1;
+        }
+        for v in 0..self.nodes {
+            self.head[v + 1] += self.head[v];
+        }
+        let mut cursor = self.head.clone();
+        self.arcs.clear();
+        self.arcs.resize(self.edges.len(), 0);
+        for a in 0..self.edges.len() {
+            let u = self.edges[a ^ 1].to;
+            self.arcs[cursor[u]] = a as u32;
+            cursor[u] += 1;
+        }
+        self.frozen_edges = self.edges.len();
+        self.frozen_nodes = self.nodes;
+    }
+
+    /// Arc ids leaving `u` (valid after [`MinCostFlow::freeze_csr`]).
+    #[inline]
+    fn out_arcs(&self, u: usize) -> &[u32] {
+        &self.arcs[self.head[u]..self.head[u + 1]]
+    }
+
     /// Sends up to `max_flow` units from `s` to `t` at minimum cost.
     /// Augmentation stops early when `t` becomes unreachable, so the
     /// returned flow may be smaller than requested.
@@ -103,8 +151,9 @@ impl MinCostFlow {
     ///
     /// Panics when `s` or `t` is out of range.
     pub fn solve(&mut self, s: usize, t: usize, max_flow: i64) -> FlowResult {
-        assert!(s < self.graph.len() && t < self.graph.len(), "terminal out of range");
-        let n = self.graph.len();
+        assert!(s < self.nodes && t < self.nodes, "terminal out of range");
+        self.freeze_csr();
+        let n = self.nodes;
         let mut potential = vec![0i64; n];
 
         if self.has_negative {
@@ -117,8 +166,8 @@ impl MinCostFlow {
                     if dist[u] == i64::MAX {
                         continue;
                     }
-                    for &eid in &self.graph[u] {
-                        let e = &self.edges[eid];
+                    for &eid in self.out_arcs(u) {
+                        let e = &self.edges[eid as usize];
                         if e.cap - e.flow > 0 && dist[u] + e.cost < dist[e.to] {
                             dist[e.to] = dist[u] + e.cost;
                             changed = true;
@@ -139,15 +188,20 @@ impl MinCostFlow {
         let mut total_flow = 0i64;
         let mut total_cost = 0i64;
 
+        // Dijkstra state, allocated once and reset per augmentation.
+        let mut dist = vec![i64::MAX; n];
+        let mut prev_edge = vec![u32::MAX; n];
+        let mut heap: BinaryHeap<Reverse<(i64, usize)>> = BinaryHeap::new();
+
         while total_flow < max_flow {
             // Dijkstra on reduced costs, stopping as soon as `t` is
             // settled: unsettled nodes have true distance ≥ dist[t], so
             // clamping their potential update to dist[t] preserves
             // non-negative reduced costs (standard SSP early exit).
-            let mut dist = vec![i64::MAX; n];
-            let mut prev_edge = vec![usize::MAX; n];
+            dist.fill(i64::MAX);
+            prev_edge.fill(u32::MAX);
+            heap.clear();
             dist[s] = 0;
-            let mut heap = BinaryHeap::new();
             heap.push(Reverse((0i64, s)));
             let mut settled_t = false;
             while let Some(Reverse((d, u))) = heap.pop() {
@@ -158,8 +212,8 @@ impl MinCostFlow {
                     settled_t = true;
                     break;
                 }
-                for &eid in &self.graph[u] {
-                    let e = &self.edges[eid];
+                for &eid in self.out_arcs(u) {
+                    let e = &self.edges[eid as usize];
                     if e.cap - e.flow <= 0 {
                         continue;
                     }
@@ -186,7 +240,7 @@ impl MinCostFlow {
             let mut push = max_flow - total_flow;
             let mut v = t;
             while v != s {
-                let eid = prev_edge[v];
+                let eid = prev_edge[v] as usize;
                 let e = &self.edges[eid];
                 push = push.min(e.cap - e.flow);
                 v = self.edges[eid ^ 1].to;
@@ -194,7 +248,7 @@ impl MinCostFlow {
             // Apply.
             let mut v = t;
             while v != s {
-                let eid = prev_edge[v];
+                let eid = prev_edge[v] as usize;
                 self.edges[eid].flow += push;
                 self.edges[eid ^ 1].flow -= push;
                 total_cost += push * self.edges[eid].cost;
@@ -315,6 +369,124 @@ mod tests {
     #[should_panic(expected = "capacity must be non-negative")]
     fn negative_capacity_panics() {
         MinCostFlow::new(2).add_edge(0, 1, -1, 0);
+    }
+
+    /// Naive successive-shortest-path reference: Bellman–Ford over the
+    /// residual graph each augmentation, no potentials, no CSR. Slow but
+    /// obviously correct on networks without negative cycles.
+    struct Reference {
+        n: usize,
+        // (to, cap, cost, flow); arc a's twin is a ^ 1.
+        edges: Vec<(usize, i64, i64, i64)>,
+    }
+
+    impl Reference {
+        fn new(n: usize) -> Self {
+            Self { n, edges: Vec::new() }
+        }
+
+        fn add_edge(&mut self, u: usize, v: usize, cap: i64, cost: i64) {
+            let _ = u;
+            self.edges.push((v, cap, cost, 0));
+            self.edges.push((u, 0, -cost, 0));
+        }
+
+        fn tail(&self, a: usize) -> usize {
+            self.edges[a ^ 1].0
+        }
+
+        fn solve(&mut self, s: usize, t: usize, max_flow: i64) -> FlowResult {
+            let mut total_flow = 0i64;
+            let mut total_cost = 0i64;
+            while total_flow < max_flow {
+                let mut dist = vec![i64::MAX; self.n];
+                let mut prev = vec![usize::MAX; self.n];
+                dist[s] = 0;
+                for _ in 0..self.n {
+                    let mut changed = false;
+                    for a in 0..self.edges.len() {
+                        let (to, cap, cost, flow) = self.edges[a];
+                        let u = self.tail(a);
+                        if cap - flow > 0
+                            && dist[u] != i64::MAX
+                            && dist[u] + cost < dist[to]
+                        {
+                            dist[to] = dist[u] + cost;
+                            prev[to] = a;
+                            changed = true;
+                        }
+                    }
+                    if !changed {
+                        break;
+                    }
+                }
+                if dist[t] == i64::MAX {
+                    break;
+                }
+                let mut push = max_flow - total_flow;
+                let mut v = t;
+                while v != s {
+                    let a = prev[v];
+                    push = push.min(self.edges[a].1 - self.edges[a].3);
+                    v = self.tail(a);
+                }
+                let mut v = t;
+                while v != s {
+                    let a = prev[v];
+                    self.edges[a].3 += push;
+                    self.edges[a ^ 1].3 -= push;
+                    total_cost += push * self.edges[a].2;
+                    v = self.tail(a);
+                }
+                total_flow += push;
+            }
+            FlowResult {
+                flow: total_flow,
+                cost: total_cost,
+            }
+        }
+    }
+
+    #[test]
+    fn randomized_equivalence_with_reference() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xF10C);
+        for case in 0..60 {
+            let n = rng.gen_range(4..12usize);
+            let m = rng.gen_range(n..4 * n);
+            let mut mcf = MinCostFlow::new(n);
+            let mut reference = Reference::new(n);
+            for _ in 0..m {
+                // Forward-oriented edges (u < v) keep the network acyclic,
+                // so negative costs cannot form negative cycles.
+                let u = rng.gen_range(0..n - 1);
+                let v = rng.gen_range(u + 1..n);
+                let cap = rng.gen_range(0..4i64);
+                let cost = rng.gen_range(-3..10i64);
+                mcf.add_edge(u, v, cap, cost);
+                reference.add_edge(u, v, cap, cost);
+            }
+            let want = rng.gen_range(1..8i64);
+            let got = mcf.solve(0, n - 1, want);
+            let expect = reference.solve(0, n - 1, want);
+            assert_eq!(got, expect, "case {case}: n={n} m={m} want={want}");
+        }
+    }
+
+    #[test]
+    fn csr_refreezes_after_growth() {
+        // Solve, then grow the graph and solve again: the CSR must pick
+        // up both the new node and the new edges.
+        let mut mcf = MinCostFlow::new(2);
+        mcf.add_edge(0, 1, 1, 1);
+        assert_eq!(mcf.solve(0, 1, 10).flow, 1);
+        let v = mcf.add_node();
+        mcf.add_edge(0, v, 2, 1);
+        mcf.add_edge(v, 1, 2, 1);
+        let r = mcf.solve(0, 1, 10);
+        assert_eq!(r.flow, 2, "two more units via the new node");
+        assert_eq!(r.cost, 4);
     }
 
     #[test]

@@ -137,6 +137,25 @@ impl AStarScratch {
         Point::new((idx % self.width) as i32, (idx / self.width) as i32)
     }
 
+    /// Iterates every cell the most recent query reached (stamped with a
+    /// tentative g-score). After a *failed* search this is the entire
+    /// free region reachable from the sources — the cells the query
+    /// contended for — which the incremental negotiation rip-up uses to
+    /// decide which routed nets actually wall a failed net in.
+    ///
+    /// Only meaningful directly after [`AStar::route_with_scratch`] ran
+    /// the flat kernel on this scratch; the out-of-bounds reference
+    /// fallback does not stamp the scratch, so callers must check
+    /// terminal bounds themselves before trusting this view.
+    pub fn touched_cells(&self) -> impl Iterator<Item = Point> + '_ {
+        let generation = self.generation;
+        self.stamp
+            .iter()
+            .enumerate()
+            .filter(move |(_, &s)| s == generation)
+            .map(|(i, _)| self.point_of(i))
+    }
+
     /// Follows the parent chain from `idx` back to a source and returns
     /// the forward (source → target) path.
     fn reconstruct(&self, mut idx: usize) -> GridPath {

@@ -1,0 +1,87 @@
+//! Deterministic fixed-seed ensemble comparing the two rip-up policies.
+//!
+//! Per-case claims like "incremental never takes more rounds" are *not*
+//! theorems — evicting only contended victims can occasionally discover a
+//! worse ordering than replanning everything, and the no-progress
+//! escalation costs an extra round when it fires. What the incremental
+//! policy does guarantee is aggregate behavior: over a fixed random
+//! ensemble it rips strictly fewer paths in total while completing the
+//! same workloads. Because the seed is pinned, these sums are exact and
+//! the test never flakes; a regression in either policy shifts them.
+
+use pacor_grid::{Grid, ObsMap, Point};
+use pacor_route::{NegotiationRouter, RipUpPolicy, RouteRequest};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const CASES: usize = 1500;
+const SIZE: i32 = 14;
+
+fn random_case(rng: &mut StdRng) -> (ObsMap, Vec<RouteRequest>) {
+    let mut grid = Grid::new(SIZE as u32, SIZE as u32).unwrap();
+    let mut cells = std::collections::HashSet::new();
+    for _ in 0..rng.gen_range(0..30) {
+        cells.insert(Point::new(rng.gen_range(0..SIZE), rng.gen_range(0..SIZE)));
+    }
+    let n_terms: usize = 2 * rng.gen_range(2..5usize);
+    let mut terms = Vec::new();
+    while terms.len() < n_terms {
+        let p = Point::new(rng.gen_range(0..SIZE), rng.gen_range(0..SIZE));
+        if !cells.contains(&p) && !terms.contains(&p) {
+            terms.push(p);
+        }
+    }
+    for c in &cells {
+        grid.set_obstacle(*c);
+    }
+    let edges = terms
+        .chunks_exact(2)
+        .map(|c| RouteRequest::point_to_point(c[0], c[1]))
+        .collect();
+    (ObsMap::new(&grid), edges)
+}
+
+#[test]
+fn incremental_rips_fewer_paths_over_ensemble() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let (mut sum_ripups_full, mut sum_ripups_inc) = (0u64, 0u64);
+    let (mut n_complete_full, mut n_complete_inc) = (0i64, 0i64);
+    let mut contended = 0usize;
+    for _ in 0..CASES {
+        let (base, edges) = random_case(&mut rng);
+        let mut obs_full = base.clone();
+        let mut obs_inc = base;
+        let full = NegotiationRouter::new()
+            .with_ripup_policy(RipUpPolicy::Full)
+            .route_all(&mut obs_full, &edges);
+        let inc = NegotiationRouter::new()
+            .with_ripup_policy(RipUpPolicy::Incremental)
+            .route_all(&mut obs_inc, &edges);
+        if full.iterations > 1 || inc.iterations > 1 {
+            contended += 1;
+        }
+        sum_ripups_full += full.ripups;
+        sum_ripups_inc += inc.ripups;
+        n_complete_full += i64::from(full.complete);
+        n_complete_inc += i64::from(inc.complete);
+    }
+    // The ensemble must genuinely exercise negotiation, not converge on
+    // round 1 everywhere.
+    assert!(
+        contended > 100,
+        "only {contended}/{CASES} cases saw contention — ensemble too sparse"
+    );
+    // The headline claim: strictly fewer rip-ups in aggregate.
+    assert!(
+        sum_ripups_inc < sum_ripups_full,
+        "incremental ripped {sum_ripups_inc} paths vs full's {sum_ripups_full}"
+    );
+    // Completeness parity: individual cases may flip either way (different
+    // rip sets explore different orderings), but the ensemble totals must
+    // stay within 1% of each other.
+    let tolerance = (CASES / 100) as i64;
+    assert!(
+        (n_complete_full - n_complete_inc).abs() <= tolerance,
+        "completion imbalance: full {n_complete_full} vs incremental {n_complete_inc}"
+    );
+}

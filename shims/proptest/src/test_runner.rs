@@ -93,16 +93,24 @@ fn seed_for(name: &str) -> u64 {
 
 /// Drives one property: runs `config.cases` accepted cases, regenerating
 /// rejected ones, and panics (without shrinking) on the first failure.
+///
+/// Like upstream proptest, the `PROPTEST_CASES` environment variable
+/// overrides the configured case count, so CI or a developer can stress
+/// a property harder without editing the test.
 pub fn run_cases<F>(name: &str, config: &ProptestConfig, mut case: F)
 where
     F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
 {
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(config.cases);
     let seed = seed_for(name);
     let mut rng = TestRng::new(seed);
-    let max_rejects = u64::from(config.cases) * 16 + 256;
+    let max_rejects = u64::from(cases) * 16 + 256;
     let mut rejects = 0u64;
     let mut accepted = 0u32;
-    while accepted < config.cases {
+    while accepted < cases {
         match case(&mut rng) {
             Ok(()) => accepted += 1,
             Err(TestCaseError::Reject) => {

@@ -20,11 +20,15 @@
 //!   (loadable in `chrome://tracing` or Perfetto).
 //! * `--metrics-out <path>` — write the run's flat metrics JSON
 //!   (counters + histograms; byte-identical at any `--threads`).
+//! * `--ripup-policy full|incremental` — what negotiation rips up between
+//!   failed rounds (default `incremental`; `full` is the paper's
+//!   Algorithm 1, kept for ablation).
 //! * `--quiet` — suppress the report JSON on stdout.
 //!
 //! Unknown `--flags` are rejected with an error rather than silently
 //! treated as file names.
 
+use pacor::route::RipUpPolicy;
 use pacor::{BenchDesign, FlowConfig, FlowVariant, PacorFlow, Problem, RouteReport};
 
 fn main() {
@@ -36,7 +40,7 @@ fn main() {
         Some("table2") => cmd_table2(&args[1..]),
         _ => {
             eprintln!(
-                "usage: pacor synth <design> [seed]\n       pacor route [--threads N] [--trace-out FILE] [--metrics-out FILE] [--quiet] <problem.json|design>\n       pacor render [--threads N] <problem.json|design>\n       pacor table2 [--full] [--threads N]"
+                "usage: pacor synth <design> [seed]\n       pacor route [--threads N] [--trace-out FILE] [--metrics-out FILE] [--ripup-policy full|incremental] [--quiet] <problem.json|design>\n       pacor render [--threads N] <problem.json|design>\n       pacor table2 [--full] [--threads N]"
             );
             2
         }
@@ -63,6 +67,7 @@ struct Options {
     threads: usize,
     trace_out: Option<String>,
     metrics_out: Option<String>,
+    ripup_policy: Option<RipUpPolicy>,
     quiet: bool,
     full: bool,
     positional: Vec<String>,
@@ -102,6 +107,12 @@ fn parse_options(args: &[String], allowed: &[&str]) -> Result<Options, String> {
             }
             "--trace-out" => opts.trace_out = Some(value()?),
             "--metrics-out" => opts.metrics_out = Some(value()?),
+            "--ripup-policy" => {
+                let v = value()?;
+                opts.ripup_policy = Some(RipUpPolicy::parse(&v).ok_or_else(|| {
+                    format!("--ripup-policy: expected full or incremental, got {v:?}")
+                })?);
+            }
             "--quiet" => opts.quiet = true,
             "--full" => opts.full = true,
             _ => opts.positional.push(a.clone()),
@@ -164,7 +175,13 @@ fn write_exports(opts: &Options, report: &pacor::obs::ObsReport) -> Result<(), S
 fn cmd_route(args: &[String]) -> i32 {
     let opts = match parse_options(
         args,
-        &["--threads", "--trace-out", "--metrics-out", "--quiet"],
+        &[
+            "--threads",
+            "--trace-out",
+            "--metrics-out",
+            "--ripup-policy",
+            "--quiet",
+        ],
     ) {
         Ok(o) => o,
         Err(e) => {
@@ -187,7 +204,10 @@ fn cmd_route(args: &[String]) -> i32 {
     // flow's own nested session merges upward into it on finish).
     let wants_obs = opts.trace_out.is_some() || opts.metrics_out.is_some();
     let session = wants_obs.then(pacor::obs::Session::begin);
-    let result = PacorFlow::new(FlowConfig::default().with_threads(opts.threads)).run(&problem);
+    let config = FlowConfig::default()
+        .with_threads(opts.threads)
+        .with_ripup_policy(opts.ripup_policy.unwrap_or_default());
+    let result = PacorFlow::new(config).run(&problem);
     let obs_report = session.map(pacor::obs::Session::finish);
     match result {
         Ok(report) => {

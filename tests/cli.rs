@@ -140,6 +140,27 @@ fn metrics_out_identical_at_one_and_four_threads() {
 }
 
 #[test]
+fn route_accepts_both_ripup_policies() {
+    for policy in ["full", "incremental"] {
+        let out = pacor(&["route", "--ripup-policy", policy, "S1"]);
+        assert!(out.status.success(), "--ripup-policy {policy} must route");
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("\"valves_routed\": 5"), "{policy}: {text}");
+    }
+}
+
+#[test]
+fn route_rejects_bad_ripup_policy() {
+    let out = pacor(&["route", "--ripup-policy", "sometimes", "S1"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("expected full or incremental"),
+        "must name the accepted values: {err}"
+    );
+}
+
+#[test]
 fn render_emits_svg() {
     let out = pacor(&["render", "S1"]);
     assert!(out.status.success());

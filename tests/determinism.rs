@@ -6,8 +6,10 @@
 //! which are normalized away before comparing — the `metrics.counters`
 //! totals and task counts are deterministic and compared in full.
 
+use pacor_repro::pacor::route::RipUpPolicy;
 use pacor_repro::pacor::{
-    BenchDesign, FlowConfig, FlowMetrics, PacorFlow, RouteReport, RoutedCluster,
+    synthesize_params, BenchDesign, DesignParams, FlowConfig, FlowMetrics, PacorFlow, RouteReport,
+    RoutedCluster,
 };
 use std::time::Duration;
 
@@ -92,6 +94,46 @@ fn flow_metrics_counters_are_thread_count_invariant() {
             "{design:?} must report A* work"
         );
         assert!(single.counter("astar.queries") > 0);
+    }
+}
+
+#[test]
+fn ripup_policies_are_thread_count_invariant() {
+    // A chip dense enough that negotiation actually rips paths up, so
+    // the incremental policy's owner-index bookkeeping is on the hook:
+    // its victim selection and history bumps must be identical whether
+    // the LM stage fans out across threads or runs sequentially.
+    let dense = DesignParams {
+        name: "D1-dense24",
+        width: 24,
+        height: 24,
+        valves: 18,
+        control_pins: 40,
+        obstacles: 50,
+        multi_clusters: 8,
+        pairs_only: false,
+    };
+    let problem = synthesize_params(dense, 42);
+    for policy in [RipUpPolicy::Full, RipUpPolicy::Incremental] {
+        let run = |threads: usize| {
+            let flow = PacorFlow::new(
+                FlowConfig::default()
+                    .with_threads(threads)
+                    .with_ripup_policy(policy),
+            );
+            let (report, routed) = flow.run_detailed(&problem).expect("dense chip routes");
+            (normalized(&report), geometry(&routed))
+        };
+        let single = run(1);
+        let multi = run(4);
+        assert_eq!(
+            single.0, multi.0,
+            "{policy:?} report differs between 1 and 4 threads"
+        );
+        assert_eq!(
+            single.1, multi.1,
+            "{policy:?} geometry differs between 1 and 4 threads"
+        );
     }
 }
 
