@@ -2,12 +2,13 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test clippy bench tables obs-smoke bench-flow bench-smoke
+.PHONY: verify build test clippy bench tables obs-smoke bench-flow bench-smoke negotiate-smoke
 
 # The acceptance gate: release build, full test suite, zero-warning
-# lints, a smoke-run of the observability exports, and a smoke-run of
-# the end-to-end flow benchmark harness.
-verify: build test clippy obs-smoke bench-smoke
+# lints, a smoke-run of the observability exports, a smoke-run of the
+# end-to-end flow benchmark harness, and a serial-vs-parallel
+# negotiation equivalence check.
+verify: build test clippy obs-smoke bench-smoke negotiate-smoke
 
 build:
 	$(CARGO) build --release --workspace
@@ -26,10 +27,29 @@ bench:
 bench-flow:
 	$(CARGO) run --release -p pacor-bench --bin bench_flow -- --repeat 5 --out BENCH_flow.json
 
-# Cheap harness exercise for CI: one tiny chip, result discarded.
+# Cheap harness exercise for CI: one tiny chip (2 policies x 3
+# negotiation configs = 6 entries), result discarded.
 bench-smoke:
 	$(CARGO) run --release -p pacor-bench --bin bench_flow -- --smoke --repeat 1 --out target/bench_flow_smoke.json
-	python3 -c "import json; r = json.load(open('target/bench_flow_smoke.json')); assert len(r['entries']) == 2, r; print('bench-smoke: harness produced', len(r['entries']), 'entries')"
+	python3 -c "import json; r = json.load(open('target/bench_flow_smoke.json')); assert len(r['entries']) == 6, r; print('bench-smoke: harness produced', len(r['entries']), 'entries')"
+
+# Serial vs speculative-parallel negotiation must produce the identical
+# routed report (wall-clock fields and work counters aside), and the
+# parallel run must actually speculate.
+negotiate-smoke:
+	$(CARGO) run --release --bin pacor-cli -- route --negotiation-mode serial \
+		--metrics-out target/neg_ser_metrics.json S2 > target/neg_ser_report.json
+	$(CARGO) run --release --bin pacor-cli -- route --negotiation-mode parallel --threads 2 \
+		--metrics-out target/neg_par_metrics.json S2 > target/neg_par_report.json
+	python3 -c "\
+	import json; \
+	s = json.load(open('target/neg_ser_report.json')); \
+	p = json.load(open('target/neg_par_report.json')); \
+	[d.pop(k) for d in (s, p) for k in ('runtime', 'metrics')]; \
+	assert s == p, 'serial and parallel reports diverge'; \
+	m = json.load(open('target/neg_par_metrics.json')); \
+	assert m['counters'].get('negotiate.speculative', 0) > 0, m['counters']; \
+	print('negotiate-smoke: identical reports,', m['counters']['negotiate.speculative'], 'speculative routes')"
 
 tables:
 	$(CARGO) run --release -p pacor-bench --bin tables -- all

@@ -1,5 +1,5 @@
 //! `bench_flow` — end-to-end PACOR flow benchmark over both rip-up
-//! policies, writing `BENCH_flow.json`.
+//! policies and both negotiation modes, writing `BENCH_flow.json`.
 //!
 //! ```text
 //! bench_flow [--out FILE] [--repeat N] [--smoke]
@@ -7,14 +7,17 @@
 //!
 //! Runs the full flow (clustering → LM routing → MST routing → escape →
 //! detour) over the dense synthesized chips of
-//! [`pacor_bench::FLOW_BENCH_CHIPS`], once per rip-up policy, and records
-//! wall-clock (best of `--repeat` runs, default 3) plus the
+//! [`pacor_bench::FLOW_BENCH_CHIPS`], once per rip-up policy ×
+//! negotiation configuration (serial, plus speculative-parallel at 2
+//! and 4 threads), and records wall-clock (end-to-end and inside the
+//! `negotiate` spans; best of `--repeat` runs, default 3) plus the
 //! `negotiate.rounds` / `negotiate.ripups` / `astar.scratch_resets`
-//! counter totals. `--smoke` swaps the chip list for the single tiny
-//! [`pacor_bench::FLOW_SMOKE_CHIP`] so CI can exercise the harness
-//! cheaply. Default output path: `BENCH_flow.json`.
+//! counter totals and the speculation counters. `--smoke` swaps the
+//! chip list for the single tiny [`pacor_bench::FLOW_SMOKE_CHIP`] so CI
+//! can exercise the harness cheaply. Default output path:
+//! `BENCH_flow.json`.
 
-use pacor::route::RipUpPolicy;
+use pacor::route::{NegotiationMode, RipUpPolicy};
 use pacor::DesignParams;
 use pacor_bench::{
     run_flow_bench, FlowBenchReport, BENCH_SEED, FLOW_BENCH_CHIPS, FLOW_SMOKE_CHIP,
@@ -51,22 +54,33 @@ fn main() {
         repeat,
         entries: Vec::new(),
     };
+    let configs = [
+        (NegotiationMode::Serial, 1usize),
+        (NegotiationMode::Parallel, 2),
+        (NegotiationMode::Parallel, 4),
+    ];
     for chip in chips {
         for policy in [RipUpPolicy::Full, RipUpPolicy::Incremental] {
-            // Counter totals come from the flow's own per-run obs
-            // session (carried in the report), so entries cannot bleed.
-            let entry = run_flow_bench(chip, policy, BENCH_SEED, repeat);
-            eprintln!(
-                "{:<12} {:<12} {:>9.1} ms  rounds {:>4}  ripups {:>5}  resets {:>7}  complete {:>5.1}%",
-                entry.chip,
-                entry.policy,
-                entry.wall_ms,
-                entry.rounds,
-                entry.ripups,
-                entry.scratch_resets,
-                entry.completion_rate * 100.0
-            );
-            report.entries.push(entry);
+            for (mode, threads) in configs {
+                // Counter totals come from the flow's own per-run obs
+                // session (carried in the report), so entries cannot
+                // bleed.
+                let entry = run_flow_bench(chip, policy, mode, threads, BENCH_SEED, repeat);
+                eprintln!(
+                    "{:<12} {:<12} {:<9} t={} {:>9.1} ms  neg {:>8.1} ms  rounds {:>4}  ripups {:>5}  spec {:>5}  complete {:>5.1}%",
+                    entry.chip,
+                    entry.policy,
+                    entry.mode,
+                    entry.threads,
+                    entry.wall_ms,
+                    entry.negotiate_ms,
+                    entry.rounds,
+                    entry.ripups,
+                    entry.speculative,
+                    entry.completion_rate * 100.0
+                );
+                report.entries.push(entry);
+            }
         }
     }
 

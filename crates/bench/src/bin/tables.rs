@@ -2,15 +2,18 @@
 //!
 //! ```sh
 //! cargo run --release -p pacor-bench --bin tables -- table1
-//! cargo run --release -p pacor-bench --bin tables -- table2 [--full]
+//! cargo run --release -p pacor-bench --bin tables -- table2 [--full] [--parallel]
 //! cargo run --release -p pacor-bench --bin tables -- fig3
 //! cargo run --release -p pacor-bench --bin tables -- ablation
 //! cargo run --release -p pacor-bench --bin tables -- all [--full]
 //! ```
 //!
 //! `--full` includes the Chip1/Chip2-scale designs (minutes instead of
-//! seconds).
+//! seconds). `--parallel` runs table2 under the speculative-parallel
+//! negotiation mode (4 threads), populating the Spec/Cnfl/Fallb
+//! counter columns; the paper columns are identical either way.
 
+use pacor::route::NegotiationMode;
 use pacor::{BenchDesign, FlowConfig, FlowVariant, RouteReport};
 use pacor_bench::{
     metrics_header, metrics_row, run_config, run_variant, table1_header, table1_row, BENCH_SEED,
@@ -19,18 +22,19 @@ use pacor_bench::{
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
+    let parallel = args.iter().any(|a| a == "--parallel");
     let what = args.first().map(String::as_str).unwrap_or("all");
 
     match what {
         "table1" => table1(),
-        "table2" => table2(full),
+        "table2" => table2(full, parallel),
         "fig3" => fig3(),
         "ablation" => ablation(),
         "sweep" => sweep(),
         "all" => {
             table1();
             println!();
-            table2(full);
+            table2(full, parallel);
             println!();
             fig3();
             println!();
@@ -53,7 +57,11 @@ fn table1() {
 }
 
 /// Table 2: three-variant self-comparison over every design.
-fn table2(full: bool) {
+///
+/// With `parallel`, every run uses the speculative-parallel negotiation
+/// mode at 4 threads — the routed results (and so the paper columns)
+/// are identical, but the Spec/Cnfl/Fallb counter columns light up.
+fn table2(full: bool, parallel: bool) {
     println!("== Table 2: computational simulation (seed {BENCH_SEED}, δ=1) ==");
     println!("{}", RouteReport::table_header());
     let designs: Vec<BenchDesign> = if full {
@@ -66,7 +74,14 @@ fn table2(full: bool) {
     let mut reports: Vec<RouteReport> = Vec::new();
     for d in designs {
         for (k, v) in FlowVariant::ALL.into_iter().enumerate() {
-            let r = run_variant(d, v, BENCH_SEED);
+            let r = if parallel {
+                let cfg = FlowConfig::for_variant(v)
+                    .with_negotiation_mode(NegotiationMode::Parallel)
+                    .with_threads(4);
+                run_config(d, cfg, BENCH_SEED)
+            } else {
+                run_variant(d, v, BENCH_SEED)
+            };
             matched[k] += r.matched_clusters;
             total_len[k] += r.total_length;
             println!("{}", r.table_row());

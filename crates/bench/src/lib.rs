@@ -11,7 +11,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use pacor::route::RipUpPolicy;
+use pacor::route::{NegotiationMode, RipUpPolicy};
 use pacor::{
     synthesize_params, BenchDesign, DesignParams, FlowConfig, FlowVariant, PacorFlow, RouteReport,
 };
@@ -63,13 +63,19 @@ pub fn table1_header() -> String {
 }
 
 /// The hot-path counters printed alongside Table 2, in column order.
-const METRIC_COLUMNS: [(&str, &str); 6] = [
+/// The last three are the speculative-negotiation counters — all zero
+/// under the default serial mode, populated under
+/// `--negotiation-mode parallel` (see docs/GUIDE.md §"Threads").
+const METRIC_COLUMNS: [(&str, &str); 9] = [
     ("astar.queries", "A*qry"),
     ("astar.expansions", "A*exp"),
     ("negotiate.rounds", "NegRnd"),
     ("negotiate.ripups", "RipUp"),
     ("escape.declustered", "Declus"),
     ("detour.segments", "DetSeg"),
+    ("negotiate.speculative", "Spec"),
+    ("negotiate.conflicts", "Cnfl"),
+    ("negotiate.serial_fallbacks", "Fallb"),
 ];
 
 /// Formats a counter row for a report: the deterministic hot-path
@@ -150,7 +156,8 @@ pub const FLOW_SMOKE_CHIP: DesignParams = DesignParams {
     pairs_only: false,
 };
 
-/// One (chip × rip-up policy) measurement of the end-to-end flow.
+/// One (chip × rip-up policy × negotiation mode) measurement of the
+/// end-to-end flow.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FlowBenchEntry {
     /// Chip name (see [`FLOW_BENCH_CHIPS`]).
@@ -163,21 +170,34 @@ pub struct FlowBenchEntry {
     pub valves: u32,
     /// Rip-up policy label (`full` / `incremental`).
     pub policy: String,
+    /// Negotiation mode label (`serial` / `parallel`).
+    pub mode: String,
+    /// Worker threads configured for the run.
+    pub threads: usize,
     /// End-to-end wall-clock of the best repeat, in milliseconds.
     pub wall_ms: f64,
+    /// Wall-clock spent inside `negotiate` spans on the best-negotiate
+    /// repeat, in milliseconds (the phase the parallel mode targets).
+    pub negotiate_ms: f64,
     /// `negotiate.rounds` counter total.
     pub rounds: u64,
     /// `negotiate.ripups` counter total.
     pub ripups: u64,
     /// `astar.scratch_resets` counter total.
     pub scratch_resets: u64,
+    /// `negotiate.speculative` counter total (0 in serial mode).
+    pub speculative: u64,
+    /// `negotiate.conflicts` counter total (0 in serial mode).
+    pub conflicts: u64,
+    /// `negotiate.serial_fallbacks` counter total (0 in serial mode).
+    pub serial_fallbacks: u64,
     /// Total routed control-channel length, grid units.
     pub total_length: u64,
     /// Fraction of valves connected (1.0 = everything routed).
     pub completion_rate: f64,
 }
 
-/// The `BENCH_flow.json` document: one entry per chip × policy.
+/// The `BENCH_flow.json` document: one entry per chip × policy × mode.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FlowBenchReport {
     /// Synthesis seed shared by every entry.
@@ -188,11 +208,27 @@ pub struct FlowBenchReport {
     pub entries: Vec<FlowBenchEntry>,
 }
 
-/// Runs the full flow on one synthesized chip under one rip-up policy,
-/// `repeat` times, and reports the best wall-clock alongside the
-/// (repeat-invariant) counter totals. One untimed warm-up run precedes
-/// the timed repeats so first-touch costs (page faults, allocator
-/// growth) don't land on whichever policy happens to run first.
+/// Sums the durations of every `negotiate` span in an observability
+/// report, in milliseconds.
+fn negotiate_ms_of(report: &pacor::obs::ObsReport) -> f64 {
+    report
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            pacor::obs::TraceEvent::Span { name, dur, .. } if *name == "negotiate" => Some(*dur),
+            _ => None,
+        })
+        .sum::<u64>() as f64
+        / 1e3
+}
+
+/// Runs the full flow on one synthesized chip under one rip-up policy
+/// and negotiation mode, `repeat` times, and reports the best
+/// wall-clock (end-to-end, and inside the `negotiate` spans) alongside
+/// the (repeat-invariant) counter totals. One untimed warm-up run
+/// precedes the timed repeats so first-touch costs (page faults,
+/// allocator growth) don't land on whichever configuration happens to
+/// run first.
 ///
 /// # Panics
 ///
@@ -201,19 +237,29 @@ pub struct FlowBenchReport {
 pub fn run_flow_bench(
     params: DesignParams,
     policy: RipUpPolicy,
+    mode: NegotiationMode,
+    threads: usize,
     seed: u64,
     repeat: u32,
 ) -> FlowBenchEntry {
     let problem = synthesize_params(params, seed);
-    let config = FlowConfig::default().with_ripup_policy(policy);
+    let config = FlowConfig::default()
+        .with_ripup_policy(policy)
+        .with_negotiation_mode(mode)
+        .with_threads(threads);
     PacorFlow::new(config)
         .run(&problem)
         .expect("synthesized designs are valid");
     let mut entry: Option<FlowBenchEntry> = None;
     for _ in 0..repeat.max(1) {
+        // An outer observability session captures the run's spans (the
+        // flow's nested session merges upward into it on finish), so the
+        // negotiation phase can be timed without touching the flow.
+        let session = pacor::obs::Session::begin();
         let report = PacorFlow::new(config)
             .run(&problem)
             .expect("synthesized designs are valid");
+        let negotiate_ms = negotiate_ms_of(&session.finish());
         let wall_ms = report.runtime.as_secs_f64() * 1e3;
         match &mut entry {
             None => {
@@ -223,10 +269,16 @@ pub fn run_flow_bench(
                     height: params.height,
                     valves: params.valves,
                     policy: policy.label().to_string(),
+                    mode: mode.label().to_string(),
+                    threads,
                     wall_ms,
+                    negotiate_ms,
                     rounds: report.metrics.counter("negotiate.rounds"),
                     ripups: report.metrics.counter("negotiate.ripups"),
                     scratch_resets: report.metrics.counter("astar.scratch_resets"),
+                    speculative: report.metrics.counter("negotiate.speculative"),
+                    conflicts: report.metrics.counter("negotiate.conflicts"),
+                    serial_fallbacks: report.metrics.counter("negotiate.serial_fallbacks"),
                     total_length: report.total_length,
                     completion_rate: report.completion_rate(),
                 });
@@ -234,6 +286,7 @@ pub fn run_flow_bench(
             Some(e) => {
                 assert_eq!(e.ripups, report.metrics.counter("negotiate.ripups"));
                 e.wall_ms = e.wall_ms.min(wall_ms);
+                e.negotiate_ms = e.negotiate_ms.min(negotiate_ms);
             }
         }
     }

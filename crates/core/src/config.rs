@@ -1,6 +1,6 @@
 //! Flow configuration and self-comparison variants.
 
-use pacor_route::RipUpPolicy;
+use pacor_route::{NegotiationMode, RipUpPolicy};
 use serde::{Deserialize, Serialize};
 
 /// Which version of the flow to run — the paper's Table 2 compares three.
@@ -69,6 +69,11 @@ pub struct FlowConfig {
     /// (the default) keeps converged paths; `Full` is the paper's
     /// Algorithm 1 verbatim, kept for ablation.
     pub ripup_policy: RipUpPolicy,
+    /// How each negotiation round attempts its pending nets. `Parallel`
+    /// speculates all of them concurrently over `thread_count` workers
+    /// and commits deterministically, producing the identical routed
+    /// result as `Serial` (the default) at any thread count.
+    pub negotiation_mode: NegotiationMode,
 }
 
 impl Default for FlowConfig {
@@ -86,6 +91,7 @@ impl Default for FlowConfig {
             detour_node_budget: 200_000,
             thread_count: 1,
             ripup_policy: RipUpPolicy::default(),
+            negotiation_mode: NegotiationMode::default(),
         }
     }
 }
@@ -111,6 +117,12 @@ impl FlowConfig {
         self.ripup_policy = ripup_policy;
         self
     }
+
+    /// Sets the negotiation round-attempt mode.
+    pub fn with_negotiation_mode(mut self, negotiation_mode: NegotiationMode) -> Self {
+        self.negotiation_mode = negotiation_mode;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -128,6 +140,7 @@ mod tests {
         assert_eq!(c.theta, 10);
         assert_eq!(c.thread_count, 1, "parallelism is opt-in");
         assert_eq!(c.ripup_policy, RipUpPolicy::Incremental);
+        assert_eq!(c.negotiation_mode, NegotiationMode::Serial);
     }
 
     #[test]

@@ -141,6 +141,7 @@ impl PacorFlow {
             &mut obs,
             ordinary_input,
             &mut next_cluster_id,
+            &self.config,
         ));
         drop(span);
         pacor_obs::counter_sample("astar.expansions");

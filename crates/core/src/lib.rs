@@ -45,7 +45,6 @@ mod escape_stage;
 mod flow;
 mod lm_routing;
 mod mst_routing;
-mod parallel;
 mod physics;
 mod problem;
 mod render;
@@ -67,7 +66,10 @@ pub use config::{FlowConfig, FlowVariant};
 pub use detour::detour_cluster;
 pub use error::FlowError;
 pub use flow::PacorFlow;
-pub use parallel::{effective_threads, parallel_map};
+// The deterministic fan-out primitives live in `pacor-route` (the
+// negotiation router's speculative mode needs them below this crate in
+// the dependency graph); re-exported here for continuity.
+pub use pacor_route::{effective_threads, parallel_map, parallel_map_with};
 pub use physics::PropagationModel;
 pub use problem::{Problem, ProblemBuilder};
 pub use render::{render_ascii, render_svg};

@@ -1,12 +1,11 @@
 //! Length-matching cluster routing (Section 4): candidate construction,
 //! MWCP selection, negotiation-based wiring.
 
-use crate::parallel::{effective_threads, parallel_map};
 use crate::{FlowConfig, FlowVariant, RoutedCluster, RoutedKind};
 use pacor_clique::{select_one_per_group, SelectionInstance};
 use pacor_dme::{candidates, candidates_with_alternates, CandidateConfig, SteinerTree};
 use pacor_grid::{olcost, GridPath, ObsMap, Point};
-use pacor_route::{NegotiationRouter, RouteRequest};
+use pacor_route::{effective_threads, parallel_map, NegotiationRouter, RouteRequest};
 use pacor_valves::Cluster;
 
 /// Result of the length-matching routing stage.
@@ -100,7 +99,9 @@ pub fn route_lm_clusters(
     let router = NegotiationRouter::new()
         .with_gamma(config.gamma)
         .with_history_params(config.history_base, config.history_alpha)
-        .with_ripup_policy(config.ripup_policy);
+        .with_ripup_policy(config.ripup_policy)
+        .with_mode(config.negotiation_mode)
+        .with_threads(config.thread_count);
 
     // Every cluster leaves this function exactly once — into `routed` or
     // into `failed` — so hold them in take-able slots instead of cloning

@@ -91,6 +91,10 @@ pub struct AStarScratch {
     parent: Vec<u32>,
     stamp: Vec<u32>,
     target_stamp: Vec<u32>,
+    /// Cells the query actually *popped* (expanded), as opposed to merely
+    /// stamped into the open list — the speculative negotiation commit
+    /// rule is built on this set (see [`AStarScratch::expanded_cells`]).
+    expanded_stamp: Vec<u32>,
     /// Bucket queue for unit-cost searches, indexed by f / SCALE.
     buckets: Vec<Vec<Open>>,
     /// Heap for history-weighted searches: `(f, g, point key, idx)`.
@@ -116,12 +120,14 @@ impl AStarScratch {
             self.parent = vec![NO_PARENT; n];
             self.stamp = vec![0; n];
             self.target_stamp = vec![0; n];
+            self.expanded_stamp = vec![0; n];
             self.generation = 0;
         }
         if self.generation == u32::MAX {
             // Stamp wrap-around: pay one full clear every 2^32 queries.
             self.stamp.fill(0);
             self.target_stamp.fill(0);
+            self.expanded_stamp.fill(0);
             self.generation = 0;
         }
         self.generation += 1;
@@ -150,6 +156,29 @@ impl AStarScratch {
     pub fn touched_cells(&self) -> impl Iterator<Item = Point> + '_ {
         let generation = self.generation;
         self.stamp
+            .iter()
+            .enumerate()
+            .filter(move |(_, &s)| s == generation)
+            .map(|(i, _)| self.point_of(i))
+    }
+
+    /// Iterates every cell the most recent query *expanded* (popped off
+    /// its open list), a subset of [`AStarScratch::touched_cells`].
+    ///
+    /// The search only reads the obstacle map at cells it expands and at
+    /// their immediate neighbors it steps into — so two runs of the same
+    /// query against obstacle maps that differ *only on cells outside
+    /// this set* pop the identical cell sequence and return the
+    /// identical result. That containment is exactly what the parallel
+    /// negotiation mode's commit rule checks (DESIGN.md §10). After a
+    /// *failed* search the expanded set equals the touched set (the open
+    /// list drains completely).
+    ///
+    /// Same caveat as [`AStarScratch::touched_cells`]: only meaningful
+    /// directly after the flat kernel ran on this scratch.
+    pub fn expanded_cells(&self) -> impl Iterator<Item = Point> + '_ {
+        let generation = self.generation;
+        self.expanded_stamp
             .iter()
             .enumerate()
             .filter(move |(_, &s)| s == generation)
@@ -397,6 +426,7 @@ impl<'a> AStar<'a> {
             };
             let e = scratch.buckets[cursor].swap_remove(pos);
             let p_idx = e.idx as usize;
+            scratch.expanded_stamp[p_idx] = generation;
             if TRACK {
                 scratch.stats.expansions += 1;
             }
@@ -460,6 +490,7 @@ impl<'a> AStar<'a> {
             if scratch.g[p_idx] < g {
                 continue; // stale entry
             }
+            scratch.expanded_stamp[p_idx] = generation;
             if TRACK {
                 scratch.stats.expansions += 1;
             }
@@ -832,6 +863,40 @@ mod tests {
                 AStar::new(&large).route_reference(&[Point::new(0, 0)], &[Point::new(29, 9)])
             );
         }
+    }
+
+    #[test]
+    fn expanded_cells_contain_path_and_drain_on_failure() {
+        use std::collections::HashSet;
+        let mut g = Grid::new(9, 9).unwrap();
+        for y in 0..8 {
+            g.set_obstacle(Point::new(4, y));
+        }
+        let obs = ObsMap::new(&g);
+        let astar = AStar::new(&obs);
+        let mut scratch = AStarScratch::new();
+        let p = astar
+            .route_with_scratch(&[Point::new(1, 1)], &[Point::new(7, 1)], &mut scratch)
+            .unwrap();
+        let expanded: HashSet<Point> = scratch.expanded_cells().collect();
+        let touched: HashSet<Point> = scratch.touched_cells().collect();
+        assert!(expanded.is_subset(&touched));
+        for c in p.iter() {
+            assert!(expanded.contains(c), "path cell {c} was never expanded");
+        }
+        // Failed search: the open list drains, so every reached cell is
+        // also expanded.
+        for y in 0..9 {
+            g.set_obstacle(Point::new(4, y));
+        }
+        let obs = ObsMap::new(&g);
+        assert!(AStar::new(&obs)
+            .route_with_scratch(&[Point::new(1, 1)], &[Point::new(7, 1)], &mut scratch)
+            .is_none());
+        let expanded: HashSet<Point> = scratch.expanded_cells().collect();
+        let touched: HashSet<Point> = scratch.touched_cells().collect();
+        assert_eq!(expanded, touched, "failed search must drain its queue");
+        assert!(!expanded.is_empty());
     }
 
     #[test]

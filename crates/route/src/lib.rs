@@ -36,8 +36,12 @@ mod astar;
 mod bounded;
 mod history;
 mod negotiation;
+mod parallel;
 
 pub use astar::{AStar, AStarScratch};
 pub use bounded::BoundedAStar;
 pub use history::HistoryCost;
-pub use negotiation::{NegotiationOutcome, NegotiationRouter, NetOrdering, RipUpPolicy, RouteRequest};
+pub use negotiation::{
+    NegotiationMode, NegotiationOutcome, NegotiationRouter, NetOrdering, RipUpPolicy, RouteRequest,
+};
+pub use parallel::{effective_threads, parallel_map, parallel_map_with};

@@ -1,5 +1,17 @@
 //! Negotiation-based detailed routing — Algorithm 1 of the paper.
+//!
+//! The router runs in one of two [`NegotiationMode`]s. `Serial` routes
+//! the round's pending nets one by one against the live obstacle state.
+//! `Parallel` speculatively routes *all* pending nets concurrently
+//! against an immutable snapshot of the round-start state, then commits
+//! the results in the canonical attempt order: a speculation is accepted
+//! iff the cells blocked by earlier commits this round are disjoint from
+//! the cells its search *expanded*, and rejected speculations are
+//! re-routed serially against the live state. The accepted/fallback mix
+//! reproduces the serial router's routed state byte for byte at any
+//! thread count (see DESIGN.md §10 for the argument).
 
+use crate::parallel::parallel_map_with;
 use crate::{AStar, AStarScratch, HistoryCost};
 use pacor_grid::{GridPath, ObsMap, Point};
 use serde::{Deserialize, Serialize};
@@ -131,6 +143,45 @@ impl RipUpPolicy {
     }
 }
 
+/// How the nets of one negotiation round are attempted.
+///
+/// Both modes produce the identical routed state; `Parallel` trades
+/// wasted speculative searches for wall-clock concurrency. The routed
+/// geometry, round/rip-up counts and convergence behavior are
+/// mode-invariant — only the `astar.*` work counters differ (a rejected
+/// speculation is a search the serial mode never ran).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum NegotiationMode {
+    /// Route pending nets one by one against the live state (default).
+    #[default]
+    Serial,
+    /// Speculatively route all pending nets against a round-start
+    /// snapshot, commit in attempt order, and re-route conflicted nets
+    /// serially. Deterministic at any thread count — including 1, where
+    /// the speculation still runs (inline) so every counter total is
+    /// thread-count invariant.
+    Parallel,
+}
+
+impl NegotiationMode {
+    /// Parses a command-line spelling (`serial` / `parallel`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "serial" => Some(NegotiationMode::Serial),
+            "parallel" => Some(NegotiationMode::Parallel),
+            _ => None,
+        }
+    }
+
+    /// The command-line spelling accepted by [`NegotiationMode::parse`].
+    pub fn label(self) -> &'static str {
+        match self {
+            NegotiationMode::Serial => "serial",
+            NegotiationMode::Parallel => "parallel",
+        }
+    }
+}
+
 /// "No owner" sentinel in [`OwnerIndex::primary`].
 const NO_OWNER: u32 = u32::MAX;
 
@@ -209,6 +260,227 @@ impl OwnerIndex {
     }
 }
 
+/// Per-round stamp of the cells blocked by this round's earlier commits.
+///
+/// The parallel mode's conflict test: a speculative result is valid iff
+/// none of its expanded cells is marked here. A generation counter makes
+/// per-round invalidation free, mirroring [`AStarScratch`].
+#[derive(Debug)]
+struct DirtyStamp {
+    width: usize,
+    height: usize,
+    generation: u32,
+    stamp: Vec<u32>,
+}
+
+impl DirtyStamp {
+    fn new(width: usize, height: usize) -> Self {
+        Self {
+            width,
+            height,
+            generation: 0,
+            stamp: vec![0; width * height],
+        }
+    }
+
+    /// Clears the marks in O(1); call at every commit-phase start.
+    fn begin_round(&mut self) {
+        if self.generation == u32::MAX {
+            self.stamp.fill(0);
+            self.generation = 0;
+        }
+        self.generation += 1;
+    }
+
+    #[inline]
+    fn index_of(&self, p: Point) -> Option<usize> {
+        (p.x >= 0 && p.y >= 0 && (p.x as usize) < self.width && (p.y as usize) < self.height)
+            .then(|| p.y as usize * self.width + p.x as usize)
+    }
+
+    /// Marks every cell of a just-committed path (out-of-bounds endpoint
+    /// cells from the reference-kernel fallback are ignored, matching
+    /// `ObsMap::block`).
+    fn mark_all(&mut self, cells: &[Point]) {
+        for &c in cells {
+            if let Some(i) = self.index_of(c) {
+                self.stamp[i] = self.generation;
+            }
+        }
+    }
+
+    /// `true` when any cell of `cells` was marked this round.
+    fn hits(&self, cells: &[Point]) -> bool {
+        cells.iter().any(|&c| {
+            self.index_of(c)
+                .is_some_and(|i| self.stamp[i] == self.generation)
+        })
+    }
+}
+
+/// Outcome of one net's attempt within a round, produced in attempt
+/// order by [`RoundExec::attempt_round`]. Identical for both modes —
+/// the policy loops never see whether a result was speculated.
+enum Attempt {
+    /// Routed; the path's cells are already blocked in the obstacle map.
+    Routed(GridPath),
+    /// Unroutable this round. Carries the flooded free region the failed
+    /// search reached (its contended cells) when the flat kernel
+    /// recorded one; `None` when the search was opaque — out-of-bounds
+    /// terminals (reference-kernel fallback) or an empty endpoint list —
+    /// which the incremental policy answers with a full rip-up.
+    Failed(Option<Vec<Point>>),
+}
+
+/// One speculative search result: the path found against the round-start
+/// snapshot plus every cell the search expanded (the commit rule's
+/// footprint). `None` path = the net failed against the snapshot.
+struct Speculation {
+    path: Option<GridPath>,
+    expanded: Vec<Point>,
+}
+
+/// Round-attempt executor: the single point where the two negotiation
+/// modes diverge. Owned by `route_all`, reused across rounds.
+enum RoundExec {
+    Serial,
+    Parallel { threads: usize, dirty: DirtyStamp },
+}
+
+impl RoundExec {
+    /// `true` when the flat kernel's scratch views (touched/expanded
+    /// cells) are meaningful for this request — in-bounds, non-empty
+    /// terminals. Anything else bypasses the flat kernel and must not be
+    /// speculated (nor trusted for flood extraction).
+    fn transparent(req: &RouteRequest, width: usize, height: usize) -> bool {
+        let in_bounds = |p: &Point| {
+            p.x >= 0 && p.y >= 0 && (p.x as usize) < width && (p.y as usize) < height
+        };
+        !req.sources.is_empty()
+            && !req.targets.is_empty()
+            && req.sources.iter().chain(&req.targets).all(in_bounds)
+    }
+
+    /// Extracts the contended-region flood of a just-failed live search.
+    fn flood_of(req: &RouteRequest, scratch: &AStarScratch, obs: &ObsMap) -> Option<Vec<Point>> {
+        Self::transparent(req, obs.width() as usize, obs.height() as usize)
+            .then(|| scratch.touched_cells().collect())
+    }
+
+    /// Attempts every net of `pending` (in order) for one round,
+    /// blocking successful paths in `obs`, and returns one [`Attempt`]
+    /// per pending net. Both modes leave `obs`, the returned attempts,
+    /// and the `negotiate.*` round counters byte-identical.
+    fn attempt_round(
+        &mut self,
+        obs: &mut ObsMap,
+        history: &HistoryCost,
+        edges: &[RouteRequest],
+        pending: &[usize],
+        scratch: &mut AStarScratch,
+    ) -> Vec<Attempt> {
+        match self {
+            RoundExec::Serial => pending
+                .iter()
+                .map(|&e| {
+                    let req = &edges[e];
+                    let path = AStar::with_history(obs, history).route_with_scratch(
+                        &req.sources,
+                        &req.targets,
+                        scratch,
+                    );
+                    match path {
+                        Some(p) => {
+                            obs.block_all(p.cells().iter().copied());
+                            Attempt::Routed(p)
+                        }
+                        None => Attempt::Failed(Self::flood_of(req, scratch, obs)),
+                    }
+                })
+                .collect(),
+            RoundExec::Parallel { threads, dirty } => {
+                let (width, height) = (obs.width() as usize, obs.height() as usize);
+                // Phase 1 — speculate: route every transparent pending
+                // net against the frozen round-start state, one scratch
+                // per worker. The merge is item-ordered, so the vector
+                // (and the task-frame counter totals) are identical at
+                // any thread count.
+                let snapshot: &ObsMap = obs;
+                let specs: Vec<Option<Speculation>> = parallel_map_with(
+                    *threads,
+                    pending,
+                    AStarScratch::new,
+                    |ws, _, &e| {
+                        let req = &edges[e];
+                        if !Self::transparent(req, width, height) {
+                            return None;
+                        }
+                        let path = AStar::with_history(snapshot, history).route_with_scratch(
+                            &req.sources,
+                            &req.targets,
+                            ws,
+                        );
+                        Some(Speculation {
+                            path,
+                            expanded: ws.expanded_cells().collect(),
+                        })
+                    },
+                );
+                pacor_obs::counter_add(
+                    "negotiate.speculative",
+                    specs.iter().flatten().count() as u64,
+                );
+
+                // Phase 2 — commit in attempt order. A speculation whose
+                // expanded footprint dodges every earlier-committed cell
+                // would have run step-for-step identically against the
+                // live state, so its result (path *or* failure flood) is
+                // taken as-is; everything else re-routes serially.
+                dirty.begin_round();
+                let mut out = Vec::with_capacity(pending.len());
+                for (spec, &e) in specs.into_iter().zip(pending) {
+                    let req = &edges[e];
+                    let conflicted = match &spec {
+                        Some(s) => dirty.hits(&s.expanded),
+                        None => false,
+                    };
+                    let attempt = match spec {
+                        Some(s) if !conflicted => match s.path {
+                            Some(p) => {
+                                obs.block_all(p.cells().iter().copied());
+                                dirty.mark_all(p.cells());
+                                Attempt::Routed(p)
+                            }
+                            None => Attempt::Failed(Some(s.expanded)),
+                        },
+                        spec => {
+                            if spec.is_some() {
+                                pacor_obs::counter_add("negotiate.conflicts", 1);
+                            }
+                            pacor_obs::counter_add("negotiate.serial_fallbacks", 1);
+                            let path = AStar::with_history(obs, history).route_with_scratch(
+                                &req.sources,
+                                &req.targets,
+                                scratch,
+                            );
+                            match path {
+                                Some(p) => {
+                                    obs.block_all(p.cells().iter().copied());
+                                    dirty.mark_all(p.cells());
+                                    Attempt::Routed(p)
+                                }
+                                None => Attempt::Failed(Self::flood_of(req, scratch, obs)),
+                            }
+                        }
+                    };
+                    out.push(attempt);
+                }
+                out
+            }
+        }
+    }
+}
+
 /// Negotiation-based router (Algorithm 1): sequentially route every edge,
 /// treating earlier paths as obstacles; when some edge fails, bump the
 /// history cost of contended cells (Eq. 5), rip paths up per the
@@ -230,6 +502,11 @@ pub struct NegotiationRouter {
     pub ordering: NetOrdering,
     /// What to rip up between iterations.
     pub ripup: RipUpPolicy,
+    /// How each round's pending nets are attempted.
+    pub mode: NegotiationMode,
+    /// Worker threads for [`NegotiationMode::Parallel`] speculation
+    /// (ignored in serial mode; results are identical at any count).
+    pub threads: usize,
 }
 
 impl Default for NegotiationRouter {
@@ -240,6 +517,8 @@ impl Default for NegotiationRouter {
             alpha: 0.1,
             ordering: NetOrdering::AsGiven,
             ripup: RipUpPolicy::default(),
+            mode: NegotiationMode::default(),
+            threads: 1,
         }
     }
 }
@@ -275,6 +554,18 @@ impl NegotiationRouter {
         self
     }
 
+    /// Overrides the negotiation mode.
+    pub fn with_mode(mut self, mode: NegotiationMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Overrides the speculation thread count (parallel mode only).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// Routes every request in `edges`; successful paths are left blocked
     /// in `obs` **only** when the whole set completes (so the caller can
     /// stack stages); on failure `obs` is restored.
@@ -285,9 +576,16 @@ impl NegotiationRouter {
     pub fn route_all(&self, obs: &mut ObsMap, edges: &[RouteRequest]) -> NegotiationOutcome {
         let _span = pacor_obs::span_with("negotiate", &[("edges", edges.len() as u64)]);
         let mut scratch = AStarScratch::new();
+        let mut exec = match self.mode {
+            NegotiationMode::Serial => RoundExec::Serial,
+            NegotiationMode::Parallel => RoundExec::Parallel {
+                threads: self.threads.max(1),
+                dirty: DirtyStamp::new(obs.width() as usize, obs.height() as usize),
+            },
+        };
         match self.ripup {
-            RipUpPolicy::Full => self.route_full(obs, edges, &mut scratch),
-            RipUpPolicy::Incremental => self.route_incremental(obs, edges, &mut scratch),
+            RipUpPolicy::Full => self.route_full(obs, edges, &mut scratch, &mut exec),
+            RipUpPolicy::Incremental => self.route_incremental(obs, edges, &mut scratch, &mut exec),
         }
     }
 
@@ -298,6 +596,7 @@ impl NegotiationRouter {
         obs: &mut ObsMap,
         edges: &[RouteRequest],
         scratch: &mut AStarScratch,
+        exec: &mut RoundExec,
     ) -> NegotiationOutcome {
         let mut history = HistoryCost::with_params(obs.width(), obs.height(), self.base, self.alpha);
         let outer_cp = obs.checkpoint();
@@ -313,21 +612,11 @@ impl NegotiationRouter {
             let mut paths: Vec<Option<GridPath>> = vec![None; edges.len()];
             let mut done = true;
 
-            for &e in &order {
-                let req = &edges[e];
-                let path = AStar::with_history(obs, &history).route_with_scratch(
-                    &req.sources,
-                    &req.targets,
-                    scratch,
-                );
-                match path {
-                    Some(p) => {
-                        obs.block_all(p.cells().iter().copied());
-                        paths[e] = Some(p);
-                    }
-                    None => {
-                        done = false;
-                    }
+            let attempts = exec.attempt_round(obs, &history, edges, &order, scratch);
+            for (attempt, &e) in attempts.into_iter().zip(&order) {
+                match attempt {
+                    Attempt::Routed(p) => paths[e] = Some(p),
+                    Attempt::Failed(_) => done = false,
                 }
             }
 
@@ -375,6 +664,7 @@ impl NegotiationRouter {
         obs: &mut ObsMap,
         edges: &[RouteRequest],
         scratch: &mut AStarScratch,
+        exec: &mut RoundExec,
     ) -> NegotiationOutcome {
         let (width, height) = (obs.width() as usize, obs.height() as usize);
         let mut history = HistoryCost::with_params(obs.width(), obs.height(), self.base, self.alpha);
@@ -384,9 +674,6 @@ impl NegotiationRouter {
         let mut iterations = 0u32;
         let mut ripups = 0u64;
 
-        let in_bounds = |p: &Point| {
-            p.x >= 0 && p.y >= 0 && (p.x as usize) < width && (p.y as usize) < height
-        };
         let order = self.ordering.order(edges);
         // Edges to attempt this round, in attempt order (all of them in
         // round 1; ripped ones afterwards).
@@ -414,26 +701,20 @@ impl NegotiationRouter {
             let mut contended: Vec<Point> = Vec::new();
             let mut rip_all = false;
 
-            for &e in &pending {
-                let req = &edges[e];
-                let path = AStar::with_history(obs, &history).route_with_scratch(
-                    &req.sources,
-                    &req.targets,
-                    scratch,
-                );
-                match path {
-                    Some(p) => {
-                        obs.block_all(p.cells().iter().copied());
+            let attempts = exec.attempt_round(obs, &history, edges, &pending, scratch);
+            for (attempt, &e) in attempts.into_iter().zip(&pending) {
+                match attempt {
+                    Attempt::Routed(p) => {
                         owners.add(e as u32, p.cells());
                         paths[e] = Some(p);
                     }
-                    None => {
+                    Attempt::Failed(Some(flood)) => {
                         failed.push(e);
-                        if req.sources.iter().chain(&req.targets).all(in_bounds) {
-                            contended.extend(scratch.touched_cells());
-                        } else {
-                            rip_all = true;
-                        }
+                        contended.extend(flood);
+                    }
+                    Attempt::Failed(None) => {
+                        failed.push(e);
+                        rip_all = true;
                     }
                 }
             }
@@ -732,6 +1013,101 @@ mod tests {
         }
         assert_eq!(RipUpPolicy::parse("bogus"), None);
         assert_eq!(RipUpPolicy::default(), RipUpPolicy::Incremental);
+    }
+
+    #[test]
+    fn mode_parse_roundtrip() {
+        for mode in [NegotiationMode::Serial, NegotiationMode::Parallel] {
+            assert_eq!(NegotiationMode::parse(mode.label()), Some(mode));
+        }
+        assert_eq!(NegotiationMode::parse("bogus"), None);
+        assert_eq!(NegotiationMode::default(), NegotiationMode::Serial);
+    }
+
+    #[test]
+    fn parallel_mode_matches_serial_exactly() {
+        // Crossing demand forces conflicts and rip-up rounds; the
+        // parallel mode must land on the identical outcome (paths,
+        // rounds, rip-ups) at every thread count, for both policies.
+        let edges = vec![
+            RouteRequest::point_to_point(Point::new(1, 4), Point::new(7, 4)),
+            RouteRequest::point_to_point(Point::new(4, 1), Point::new(4, 7)),
+            RouteRequest::point_to_point(Point::new(0, 0), Point::new(8, 8)),
+        ];
+        for policy in [RipUpPolicy::Full, RipUpPolicy::Incremental] {
+            let mut serial_obs = open(9, 9);
+            let serial = NegotiationRouter::new()
+                .with_ripup_policy(policy)
+                .route_all(&mut serial_obs, &edges);
+            for threads in [1, 2, 4, 8] {
+                let mut obs = open(9, 9);
+                let par = NegotiationRouter::new()
+                    .with_ripup_policy(policy)
+                    .with_mode(NegotiationMode::Parallel)
+                    .with_threads(threads)
+                    .route_all(&mut obs, &edges);
+                assert_eq!(par.complete, serial.complete, "{policy:?}@{threads}");
+                assert_eq!(par.iterations, serial.iterations, "{policy:?}@{threads}");
+                assert_eq!(par.ripups, serial.ripups, "{policy:?}@{threads}");
+                for (a, b) in par.paths.iter().zip(&serial.paths) {
+                    assert_eq!(
+                        a.as_ref().map(|p| p.cells()),
+                        b.as_ref().map(|p| p.cells()),
+                        "{policy:?}@{threads}"
+                    );
+                }
+                assert_eq!(
+                    obs.blocked_count(),
+                    serial_obs.blocked_count(),
+                    "{policy:?}@{threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_mode_restores_obsmap_on_failure() {
+        let mut g = Grid::new(7, 3).unwrap();
+        for x in 0..7 {
+            g.set_obstacle(Point::new(x, 0));
+            g.set_obstacle(Point::new(x, 2));
+        }
+        let mut obs = ObsMap::new(&g);
+        let before = obs.blocked_count();
+        let edges = vec![
+            RouteRequest::point_to_point(Point::new(0, 1), Point::new(6, 1)),
+            RouteRequest::point_to_point(Point::new(1, 1), Point::new(5, 1)),
+        ];
+        let out = NegotiationRouter::new()
+            .with_gamma(3)
+            .with_mode(NegotiationMode::Parallel)
+            .with_threads(4)
+            .route_all(&mut obs, &edges);
+        assert!(!out.complete);
+        assert_eq!(obs.blocked_count(), before);
+    }
+
+    #[test]
+    fn parallel_mode_counts_speculation() {
+        // Every attempted transparent net is one speculative search, so
+        // the counter must appear in the session metrics.
+        let session = pacor_obs::Session::begin();
+        let mut obs = open(9, 9);
+        let edges = vec![
+            RouteRequest::point_to_point(Point::new(1, 4), Point::new(7, 4)),
+            RouteRequest::point_to_point(Point::new(4, 1), Point::new(4, 7)),
+        ];
+        let out = NegotiationRouter::new()
+            .with_mode(NegotiationMode::Parallel)
+            .with_threads(2)
+            .route_all(&mut obs, &edges);
+        assert!(out.complete);
+        let report = session.finish();
+        let metrics = pacor_obs::metrics_json(&report);
+        assert!(
+            metrics.contains("negotiate.speculative"),
+            "speculation counter missing from {metrics}"
+        );
     }
 
     #[test]

@@ -23,12 +23,16 @@
 //! * `--ripup-policy full|incremental` — what negotiation rips up between
 //!   failed rounds (default `incremental`; `full` is the paper's
 //!   Algorithm 1, kept for ablation).
+//! * `--negotiation-mode serial|parallel` — how each negotiation round
+//!   attempts its pending nets (default `serial`; `parallel` speculates
+//!   over the `--threads` workers and commits deterministically, landing
+//!   on the identical routed result).
 //! * `--quiet` — suppress the report JSON on stdout.
 //!
 //! Unknown `--flags` are rejected with an error rather than silently
 //! treated as file names.
 
-use pacor::route::RipUpPolicy;
+use pacor::route::{NegotiationMode, RipUpPolicy};
 use pacor::{BenchDesign, FlowConfig, FlowVariant, PacorFlow, Problem, RouteReport};
 
 fn main() {
@@ -40,7 +44,7 @@ fn main() {
         Some("table2") => cmd_table2(&args[1..]),
         _ => {
             eprintln!(
-                "usage: pacor synth <design> [seed]\n       pacor route [--threads N] [--trace-out FILE] [--metrics-out FILE] [--ripup-policy full|incremental] [--quiet] <problem.json|design>\n       pacor render [--threads N] <problem.json|design>\n       pacor table2 [--full] [--threads N]"
+                "usage: pacor synth <design> [seed]\n       pacor route [--threads N] [--trace-out FILE] [--metrics-out FILE] [--ripup-policy full|incremental] [--negotiation-mode serial|parallel] [--quiet] <problem.json|design>\n       pacor render [--threads N] <problem.json|design>\n       pacor table2 [--full] [--threads N]"
             );
             2
         }
@@ -68,6 +72,7 @@ struct Options {
     trace_out: Option<String>,
     metrics_out: Option<String>,
     ripup_policy: Option<RipUpPolicy>,
+    negotiation_mode: Option<NegotiationMode>,
     quiet: bool,
     full: bool,
     positional: Vec<String>,
@@ -111,6 +116,12 @@ fn parse_options(args: &[String], allowed: &[&str]) -> Result<Options, String> {
                 let v = value()?;
                 opts.ripup_policy = Some(RipUpPolicy::parse(&v).ok_or_else(|| {
                     format!("--ripup-policy: expected full or incremental, got {v:?}")
+                })?);
+            }
+            "--negotiation-mode" => {
+                let v = value()?;
+                opts.negotiation_mode = Some(NegotiationMode::parse(&v).ok_or_else(|| {
+                    format!("--negotiation-mode: expected serial or parallel, got {v:?}")
                 })?);
             }
             "--quiet" => opts.quiet = true,
@@ -180,6 +191,7 @@ fn cmd_route(args: &[String]) -> i32 {
             "--trace-out",
             "--metrics-out",
             "--ripup-policy",
+            "--negotiation-mode",
             "--quiet",
         ],
     ) {
@@ -206,7 +218,8 @@ fn cmd_route(args: &[String]) -> i32 {
     let session = wants_obs.then(pacor::obs::Session::begin);
     let config = FlowConfig::default()
         .with_threads(opts.threads)
-        .with_ripup_policy(opts.ripup_policy.unwrap_or_default());
+        .with_ripup_policy(opts.ripup_policy.unwrap_or_default())
+        .with_negotiation_mode(opts.negotiation_mode.unwrap_or_default());
     let result = PacorFlow::new(config).run(&problem);
     let obs_report = session.map(pacor::obs::Session::finish);
     match result {

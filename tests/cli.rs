@@ -161,6 +161,53 @@ fn route_rejects_bad_ripup_policy() {
 }
 
 #[test]
+fn route_accepts_both_negotiation_modes() {
+    for mode in ["serial", "parallel"] {
+        let out = pacor(&["route", "--negotiation-mode", mode, "--threads", "2", "S1"]);
+        assert!(out.status.success(), "--negotiation-mode {mode} must route");
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("\"valves_routed\": 5"), "{mode}: {text}");
+    }
+}
+
+#[test]
+fn route_rejects_bad_negotiation_mode() {
+    let out = pacor(&["route", "--negotiation-mode", "speculative", "S1"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("expected serial or parallel"),
+        "must name the accepted values: {err}"
+    );
+}
+
+#[test]
+fn negotiation_modes_agree_on_report() {
+    // The parallel mode must land on the identical routed result; the
+    // reports differ only in wall-clock fields and work counters (a
+    // rejected speculation is an A* search the serial mode never ran),
+    // so both are normalized away before comparing.
+    let strip = |bytes: &[u8]| {
+        let text = std::str::from_utf8(bytes).unwrap();
+        let mut r: pacor_repro::pacor::RouteReport = serde_json::from_str(text).unwrap();
+        r.runtime = std::time::Duration::ZERO;
+        r.metrics = pacor_repro::pacor::FlowMetrics::default();
+        r
+    };
+    let serial = pacor(&["route", "--negotiation-mode", "serial", "S2"]);
+    let parallel = pacor(&[
+        "route",
+        "--negotiation-mode",
+        "parallel",
+        "--threads",
+        "4",
+        "S2",
+    ]);
+    assert!(serial.status.success() && parallel.status.success());
+    assert_eq!(strip(&serial.stdout), strip(&parallel.stdout));
+}
+
+#[test]
 fn render_emits_svg() {
     let out = pacor(&["render", "S1"]);
     assert!(out.status.success());
