@@ -2,13 +2,14 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test clippy bench tables obs-smoke bench-flow bench-smoke negotiate-smoke
+.PHONY: verify build test clippy bench tables obs-smoke bench-flow bench-smoke negotiate-smoke bench-check
 
 # The acceptance gate: release build, full test suite, zero-warning
 # lints, a smoke-run of the observability exports, a smoke-run of the
-# end-to-end flow benchmark harness, and a serial-vs-parallel
-# negotiation equivalence check.
-verify: build test clippy obs-smoke bench-smoke negotiate-smoke
+# end-to-end flow benchmark harness, a serial-vs-parallel negotiation
+# equivalence check, and a determinism check of the smallest benchmark
+# chip against the committed BENCH_flow.json baseline.
+verify: build test clippy obs-smoke bench-smoke negotiate-smoke bench-check
 
 build:
 	$(CARGO) build --release --workspace
@@ -26,6 +27,27 @@ bench:
 # policies, written to BENCH_flow.json at the repo root (takes minutes).
 bench-flow:
 	$(CARGO) run --release -p pacor-bench --bin bench_flow -- --repeat 5 --out BENCH_flow.json
+
+# Determinism regression gate: re-run the smallest benchmark chip and
+# compare every deterministic field (rounds, ripups, lengths,
+# completion, speculation counters) against the committed
+# BENCH_flow.json baseline. Wall-clock fields are machine-local and
+# ignored. Re-baseline with `make bench-flow` after an intentional
+# routing change.
+bench-check:
+	$(CARGO) run --release -p pacor-bench --bin bench_flow -- --chip B1-dense24 --repeat 1 --out target/bench_check.json
+	python3 -c "\
+	import json; \
+	base = json.load(open('BENCH_flow.json')); \
+	cur = json.load(open('target/bench_check.json')); \
+	key = lambda e: (e['chip'], e['policy'], e['mode'], e['threads']); \
+	fields = ('rounds', 'ripups', 'scratch_resets', 'speculative', 'conflicts', 'serial_fallbacks', 'total_length', 'completion_rate'); \
+	baseline = {key(e): e for e in base['entries'] if e['chip'] == 'B1-dense24'}; \
+	assert baseline, 'baseline has no B1-dense24 entries'; \
+	assert len(cur['entries']) == len(baseline), (len(cur['entries']), len(baseline)); \
+	diffs = [(k, f, baseline[key(e)][f], e[f]) for e in cur['entries'] for k in [key(e)] for f in fields if baseline[k][f] != e[f]]; \
+	assert not diffs, 'bench-check drift vs BENCH_flow.json: %r' % diffs; \
+	print('bench-check:', len(cur['entries']), 'entries match the baseline on', len(fields), 'deterministic fields')"
 
 # Cheap harness exercise for CI: one tiny chip (2 policies x 3
 # negotiation configs = 6 entries), result discarded.

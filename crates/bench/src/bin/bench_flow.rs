@@ -2,7 +2,7 @@
 //! policies and both negotiation modes, writing `BENCH_flow.json`.
 //!
 //! ```text
-//! bench_flow [--out FILE] [--repeat N] [--smoke]
+//! bench_flow [--out FILE] [--repeat N] [--smoke] [--chip NAME]
 //! ```
 //!
 //! Runs the full flow (clustering → LM routing → MST routing → escape →
@@ -14,8 +14,10 @@
 //! `negotiate.rounds` / `negotiate.ripups` / `astar.scratch_resets`
 //! counter totals and the speculation counters. `--smoke` swaps the
 //! chip list for the single tiny [`pacor_bench::FLOW_SMOKE_CHIP`] so CI
-//! can exercise the harness cheaply. Default output path:
-//! `BENCH_flow.json`.
+//! can exercise the harness cheaply; `--chip NAME` keeps only the named
+//! chip (for `make bench-check`-style baseline comparisons). Default
+//! output path: `BENCH_flow.json`; the file is written atomically
+//! (temp + rename).
 
 use pacor::route::{NegotiationMode, RipUpPolicy};
 use pacor::DesignParams;
@@ -27,6 +29,7 @@ fn main() {
     let mut out = String::from("BENCH_flow.json");
     let mut repeat = 3u32;
     let mut smoke = false;
+    let mut chip_filter: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -39,15 +42,25 @@ fn main() {
                 _ => return usage("--repeat requires a positive integer"),
             },
             "--smoke" => smoke = true,
+            "--chip" => match args.next() {
+                Some(v) => chip_filter = Some(v),
+                None => return usage("--chip requires a value"),
+            },
             other => return usage(&format!("unknown argument {other}")),
         }
     }
 
-    let chips: Vec<DesignParams> = if smoke {
+    let mut chips: Vec<DesignParams> = if smoke {
         vec![FLOW_SMOKE_CHIP]
     } else {
         FLOW_BENCH_CHIPS.to_vec()
     };
+    if let Some(name) = &chip_filter {
+        chips.retain(|c| c.name == *name);
+        if chips.is_empty() {
+            return usage(&format!("--chip: no benchmark chip named {name:?}"));
+        }
+    }
 
     let mut report = FlowBenchReport {
         seed: BENCH_SEED,
@@ -85,7 +98,7 @@ fn main() {
     }
 
     let json = serde_json::to_string_pretty(&report).expect("reports serialize");
-    if let Err(e) = std::fs::write(&out, json + "\n") {
+    if let Err(e) = pacor::obs::write_atomic(&out, json + "\n") {
         eprintln!("bench_flow: writing {out}: {e}");
         std::process::exit(1);
     }
@@ -93,6 +106,8 @@ fn main() {
 }
 
 fn usage(err: &str) {
-    eprintln!("bench_flow: {err}\nusage: bench_flow [--out FILE] [--repeat N] [--smoke]");
+    eprintln!(
+        "bench_flow: {err}\nusage: bench_flow [--out FILE] [--repeat N] [--smoke] [--chip NAME]"
+    );
     std::process::exit(2);
 }

@@ -5,6 +5,7 @@
 //! cargo run --release -p pacor-bench --bin tables -- table2 [--full] [--parallel]
 //! cargo run --release -p pacor-bench --bin tables -- fig3
 //! cargo run --release -p pacor-bench --bin tables -- ablation
+//! cargo run --release -p pacor-bench --bin tables -- heatmap [design]
 //! cargo run --release -p pacor-bench --bin tables -- all [--full]
 //! ```
 //!
@@ -12,6 +13,9 @@
 //! seconds). `--parallel` runs table2 under the speculative-parallel
 //! negotiation mode (4 threads), populating the Spec/Cnfl/Fallb
 //! counter columns; the paper columns are identical either way.
+//! `heatmap` runs one design (default S5) with the flight recorder
+//! installed and renders the ASCII congestion heatmap plus a post-mortem
+//! summary.
 
 use pacor::route::NegotiationMode;
 use pacor::{BenchDesign, FlowConfig, FlowVariant, RouteReport};
@@ -31,6 +35,7 @@ fn main() {
         "fig3" => fig3(),
         "ablation" => ablation(),
         "sweep" => sweep(),
+        "heatmap" => heatmap(args.get(1).map(String::as_str)),
         "all" => {
             table1();
             println!();
@@ -41,7 +46,9 @@ fn main() {
             ablation();
         }
         other => {
-            eprintln!("unknown experiment {other:?}; use table1|table2|fig3|ablation|sweep|all");
+            eprintln!(
+                "unknown experiment {other:?}; use table1|table2|fig3|ablation|sweep|heatmap|all"
+            );
             std::process::exit(2);
         }
     }
@@ -170,6 +177,39 @@ fn sweep() {
             total_len as f64 / n as f64
         );
     }
+}
+
+/// Congestion heatmap: one design under the flight recorder, rendered
+/// as ASCII plus the post-mortem headline numbers.
+fn heatmap(design: Option<&str>) {
+    let name = design.unwrap_or("S5");
+    let Some(d) = BenchDesign::ALL
+        .into_iter()
+        .find(|d| d.params().name == name)
+    else {
+        eprintln!("heatmap: unknown design {name:?}");
+        std::process::exit(2);
+    };
+    let cfg = FlowConfig::default();
+    pacor::obs::flight_install(cfg.recorder_config());
+    let r = run_config(d, cfg, BENCH_SEED);
+    let log = pacor::obs::flight_take().expect("recorder installed");
+    println!("== Congestion heatmap: {name} (seed {BENCH_SEED}) ==");
+    println!(
+        "completion {:.0}%  matched {}  total length {}",
+        r.completion_rate() * 100.0,
+        r.matched_clusters,
+        r.total_length
+    );
+    println!(
+        "recorder: {} events ({} dropped), {} snapshots, {} sessions",
+        log.events().len(),
+        log.dropped_events(),
+        log.snapshots().len(),
+        log.sessions()
+    );
+    println!();
+    print!("{}", pacor::obs::render_heatmap(&log));
 }
 
 /// Ablations: λ (Eq. 2/3 weighting) and negotiation parameters (γ, α).

@@ -103,6 +103,10 @@ pub fn detour_cluster(
                     Some(new_path) => {
                         pacor_obs::counter_add("detour.segments", 1);
                         pacor_obs::record("detour.delta", new_path.len().saturating_sub(seg.len()));
+                        pacor_obs::flight(|| pacor_obs::FlightEvent::DetourSegment {
+                            cluster: rc.cluster.id().0,
+                            added: new_path.len().saturating_sub(seg.len()),
+                        });
                         obs.block_all(interior(&new_path).iter().copied());
                         *segment_mut(&mut rc.kind, seg_idx) = new_path;
                         detoured_this_round[seg_idx] = true;

@@ -93,6 +93,11 @@ pub fn escape_all(
                     ("cluster", routed[i].cluster.id().0 as u64),
                 ],
             );
+            pacor_obs::flight(|| pacor_obs::FlightEvent::EscapeFailed {
+                phase: 1,
+                round: stats.rounds,
+                cluster: routed[i].cluster.id().0,
+            });
         }
         let mut any_multi = false;
         failed.sort_unstable();
@@ -102,6 +107,9 @@ pub fn escape_all(
                 stats.declustered += 1;
                 pacor_obs::counter_add("escape.declustered", 1);
                 let rc = routed.remove(i);
+                pacor_obs::flight(|| pacor_obs::FlightEvent::Declustered {
+                    cluster: rc.cluster.id().0,
+                });
                 obs.unblock_all(rc.net_cells());
                 for (k, &m) in rc.cluster.members().iter().enumerate() {
                     let pos = rc.member_positions[k];
@@ -154,11 +162,19 @@ pub fn escape_all(
         let mut singles_failed: Vec<Point> = Vec::new();
         failed.sort_unstable();
         for &i in failed.iter().rev() {
+            pacor_obs::flight(|| pacor_obs::FlightEvent::EscapeFailed {
+                phase: 2,
+                round: stats.rounds,
+                cluster: routed[i].cluster.id().0,
+            });
             if routed[i].cluster.len() >= 2 {
                 progress = true;
                 stats.declustered += 1;
                 pacor_obs::counter_add("escape.declustered", 1);
                 let rc = routed.remove(i);
+                pacor_obs::flight(|| pacor_obs::FlightEvent::Declustered {
+                    cluster: rc.cluster.id().0,
+                });
                 obs.unblock_all(rc.net_cells());
                 for (k, &m) in rc.cluster.members().iter().enumerate() {
                     let pos = rc.member_positions[k];
@@ -185,7 +201,10 @@ pub fn escape_all(
             let mut victims: Vec<RoutedCluster> = Vec::new();
             let mut pocket: HashSet<Point> = HashSet::new();
             for shell in 0..4 {
-                let (blockers, shell_pocket) = blocking_clusters(obs, routed, cur, source, &rip_counts);
+                let (blockers, shell_pocket, walls) =
+                    blocking_clusters(obs, routed, cur, source, &rip_counts);
+                let blocked_id = routed[cur].cluster.id().0;
+                record_blocked(routed, blocked_id, &shell_pocket, &blockers, &walls);
                 pocket.extend(shell_pocket);
                 pacor_obs::instant(
                     "escape.shell",
@@ -201,6 +220,10 @@ pub fn escape_all(
                     let rc = routed.remove(b);
                     stats.ripped += 1;
                     pacor_obs::counter_add("escape.ripped", 1);
+                    pacor_obs::flight(|| pacor_obs::FlightEvent::EscapeRip {
+                        victim: rc.cluster.id().0,
+                        blocked: blocked_id,
+                    });
                     *rip_counts.entry(rc.cluster.id().0).or_insert(0) += 1;
                     obs.unblock_all(rc.net_cells());
                     if let Some((esc, _)) = &rc.escape {
@@ -268,6 +291,9 @@ pub fn escape_all(
                     None => {
                         stats.declustered += 1;
                         pacor_obs::counter_add("escape.declustered", 1);
+                        pacor_obs::flight(|| pacor_obs::FlightEvent::Declustered {
+                            cluster: rc.cluster.id().0,
+                        });
                         for (k, &m) in members.iter().enumerate() {
                             obs.block(positions[k]);
                             routed.push(singleton(ClusterId(*next_id), m, positions[k]));
@@ -328,8 +354,15 @@ pub fn escape_all(
                 // No escapes are blocked right now, so every attributed
                 // frontier cell belongs to an internal net. Rip limits no
                 // longer apply: completion outranks everything.
-                let (blockers, _) =
+                let (blockers, pocket, walls) =
                     blocking_clusters(obs, routed, cur, source, &HashMap::new());
+                let blocked_id = routed[cur].cluster.id().0;
+                pacor_obs::flight(|| pacor_obs::FlightEvent::EscapeFailed {
+                    phase: 3,
+                    round: stats.rounds,
+                    cluster: blocked_id,
+                });
+                record_blocked(routed, blocked_id, &pocket, &blockers, &walls);
                 let mut blockers = blockers;
                 blockers.sort_unstable();
                 for &b in blockers.iter().rev() {
@@ -340,6 +373,9 @@ pub fn escape_all(
                     stats.declustered += 1;
                     pacor_obs::counter_add("escape.declustered", 1);
                     let rc = routed.remove(b);
+                    pacor_obs::flight(|| pacor_obs::FlightEvent::Declustered {
+                        cluster: rc.cluster.id().0,
+                    });
                     obs.unblock_all(rc.net_cells());
                     for (k, &m) in rc.cluster.members().iter().enumerate() {
                         let pos = rc.member_positions[k];
@@ -382,13 +418,18 @@ fn singleton(id: ClusterId, valve: pacor_valves::ValveId, pos: Point) -> RoutedC
 /// never appears, valve cells are never attributed (ripping a cluster
 /// cannot free a physical valve), and clusters already ripped three
 /// times are off-limits (cycle breaker).
+///
+/// Also returns the pocket (the free cells reached) and the attributed
+/// frontier cells with their owning routed-cluster *indices*, sorted by
+/// (y, x) and capped — the flight recorder's escape-bottleneck
+/// evidence.
 fn blocking_clusters(
     obs: &ObsMap,
     routed: &[RoutedCluster],
     exclude: usize,
     source: Point,
     rip_counts: &HashMap<u32, u32>,
-) -> (Vec<usize>, HashSet<Point>) {
+) -> (Vec<usize>, HashSet<Point>, Vec<(Point, usize)>) {
     // Cells that can never be freed by a rip: every valve position.
     let valve_cells: HashSet<Point> = routed
         .iter()
@@ -417,6 +458,7 @@ fn blocking_clusters(
     // BFS over free cells from the source.
     let mut seen: HashSet<Point> = HashSet::new();
     let mut frontier_owners: HashSet<usize> = HashSet::new();
+    let mut frontier_cells: Vec<(Point, usize)> = Vec::new();
     let mut queue = VecDeque::new();
     queue.push_back(source);
     seen.insert(source);
@@ -434,6 +476,7 @@ fn blocking_clusters(
             if obs.is_blocked(q) {
                 if let Some(&o) = owner.get(&q) {
                     frontier_owners.insert(o);
+                    frontier_cells.push((q, o));
                 }
                 continue;
             }
@@ -452,7 +495,42 @@ fn blocking_clusters(
     } else {
         frontier_owners.into_iter().collect()
     };
-    (picks, seen)
+    frontier_cells.sort_unstable_by_key(|&(p, o)| (p.y, p.x, o));
+    frontier_cells.dedup();
+    frontier_cells.truncate(32);
+    (picks, seen, frontier_cells)
+}
+
+/// Records [`pacor_obs::FlightEvent::EscapeBlocked`] for a walled-in
+/// cluster: resolves blocker indices and frontier owners to cluster ids
+/// (only when a recorder is active).
+fn record_blocked(
+    routed: &[RoutedCluster],
+    blocked: u32,
+    pocket: &HashSet<Point>,
+    blockers: &[usize],
+    frontier: &[(Point, usize)],
+) {
+    if !pacor_obs::flight_active() {
+        return;
+    }
+    let mut ids: Vec<u32> = blockers.iter().map(|&b| routed[b].cluster.id().0).collect();
+    ids.sort_unstable();
+    let frontier: Vec<pacor_obs::FrontierCell> = frontier
+        .iter()
+        .map(|&(p, o)| pacor_obs::FrontierCell {
+            x: p.x,
+            y: p.y,
+            owner: routed[o].cluster.id().0,
+        })
+        .collect();
+    let pocket = pocket.len() as u32;
+    pacor_obs::flight(move || pacor_obs::FlightEvent::EscapeBlocked {
+        cluster: blocked,
+        pocket,
+        blockers: ids,
+        frontier,
+    });
 }
 
 #[cfg(test)]

@@ -188,6 +188,45 @@ impl PacorFlow {
         }
         pacor_obs::counter_sample("astar.expansions");
 
+        // ---- Flight-recorder epilogue ---------------------------------
+        // Per-cluster outcomes (in routed order, which is deterministic)
+        // and a final occupancy snapshot — the post-mortem's ground truth
+        // for what stayed unrouted and where the chip ended up congested.
+        if pacor_obs::flight_active() {
+            for rc in &routed {
+                let mismatch = rc.mismatch();
+                let complete = rc.is_complete();
+                let lm = rc.cluster.is_length_matched();
+                let matched = lm && complete && rc.is_matched(problem.delta);
+                pacor_obs::flight(|| pacor_obs::FlightEvent::ClusterOutcome {
+                    cluster: rc.cluster.id().0,
+                    valves: rc.cluster.len() as u32,
+                    lm,
+                    complete,
+                    matched,
+                    length: rc.total_length(),
+                    mismatch,
+                    delta: problem.delta,
+                });
+            }
+            let (w, h) = (grid.width(), grid.height());
+            let mut occupancy = Vec::with_capacity((w as usize) * (h as usize));
+            for y in 0..h as i32 {
+                for x in 0..w as i32 {
+                    occupancy.push(u8::from(obs.is_blocked(pacor_grid::Point::new(x, y))));
+                }
+            }
+            pacor_obs::flight_snapshot(pacor_obs::CongestionSnapshot {
+                kind: pacor_obs::SnapshotKind::Final,
+                session: 0,
+                round: 0,
+                width: w,
+                height: h,
+                occupancy,
+                heat_milli: Vec::new(),
+            });
+        }
+
         let obs_report = obs_session.finish();
         timings.counters = obs_report
             .counters()

@@ -115,8 +115,16 @@ pub fn route_lm_clusters(
         let mut requests: Vec<RouteRequest> = Vec::new();
         let mut owner: Vec<usize> = Vec::new();
         for (ni, net) in active.iter().enumerate() {
+            // Tag each request with its cluster id so the flight
+            // recorder can attribute per-net outcomes to clusters.
+            let cid = slots[net.cluster_idx()]
+                .as_ref()
+                .expect("cluster still pending")
+                .0
+                .id()
+                .0;
             for (s, t) in net.edges() {
-                requests.push(RouteRequest::point_to_point(s, t));
+                requests.push(RouteRequest::point_to_point(s, t).with_net(cid));
                 owner.push(ni);
             }
         }
@@ -155,11 +163,14 @@ pub fn route_lm_clusters(
         for &ni in dropped.iter().rev() {
             let net = active.remove(ni);
             let ci = net.cluster_idx();
-            let positions = &slots[ci].as_ref().expect("cluster still pending").1;
+            let slot = slots[ci].as_ref().expect("cluster still pending");
+            let cid = slot.0.id().0;
+            let positions = &slot.1;
             let is_tree = matches!(net, LmNet::Tree { .. });
             if is_tree && !retried.contains(&ci) && positions.len() <= 6 {
                 retried.insert(ci);
                 pacor_obs::counter_add("lm.reconstructed", 1);
+                pacor_obs::flight(|| pacor_obs::FlightEvent::LmReconstructed { cluster: cid });
                 let alts = candidates_with_alternates(
                     positions,
                     Some(obs),
@@ -179,6 +190,7 @@ pub fn route_lm_clusters(
             }
             pacor_obs::counter_add("lm.demoted", 1);
             pacor_obs::instant("lm.demoted", &[("cluster", ci as u64)]);
+            pacor_obs::flight(|| pacor_obs::FlightEvent::LmDemoted { cluster: cid });
             failed_idx.push(ci);
         }
         if active.is_empty() {

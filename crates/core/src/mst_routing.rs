@@ -144,8 +144,14 @@ fn split_into(
     positions: Vec<Point>,
     next_id: &mut u32,
 ) {
+    let parent = cluster.id().0;
     match cluster.split(*next_id) {
         Some((a, b)) => {
+            pacor_obs::flight(|| pacor_obs::FlightEvent::MstSplit {
+                parent,
+                low: *next_id,
+                high: *next_id + 1,
+            });
             *next_id += 2;
             pacor_obs::counter_add("mst.splits", 1);
             let pos_of = |c: &Cluster| {
@@ -172,13 +178,16 @@ fn split_into(
 }
 
 fn count_edges(rc: &RoutedCluster) {
-    pacor_obs::counter_add(
-        "mst.edges",
-        match &rc.kind {
-            RoutedKind::Mst { paths } => paths.len() as u64,
-            _ => 0,
-        },
-    );
+    let edges = match &rc.kind {
+        RoutedKind::Mst { paths } => paths.len() as u64,
+        _ => 0,
+    };
+    pacor_obs::counter_add("mst.edges", edges);
+    pacor_obs::flight(|| pacor_obs::FlightEvent::MstCommit {
+        cluster: rc.cluster.id().0,
+        edges: edges as u32,
+        length: rc.total_length(),
+    });
 }
 
 /// The serial FIFO queue: route each cluster against the live state,

@@ -6,6 +6,7 @@
 
 use crate::{ObsReport, TraceEvent};
 use std::fmt::Write;
+use std::path::{Path, PathBuf};
 
 /// Process id used for every trace event (the flow is one process).
 const PID: u32 = 1;
@@ -127,11 +128,14 @@ pub fn metrics_json(report: &ObsReport) -> String {
         push_json_string(&mut out, name);
         let _ = write!(
             out,
-            ": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"buckets\": [",
+            ": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"buckets\": [",
             hist.count(),
             hist.sum(),
             hist.min(),
-            hist.max()
+            hist.max(),
+            hist.p50(),
+            hist.p95(),
+            hist.p99()
         );
         for (j, b) in hist.buckets().iter().enumerate() {
             if j > 0 {
@@ -143,6 +147,26 @@ pub fn metrics_json(report: &ObsReport) -> String {
     }
     out.push_str("\n  }\n}\n");
     out
+}
+
+/// Writes `contents` to `path` atomically: the bytes go to a
+/// `<path>.tmp` sibling first and are renamed into place, so an
+/// interrupted run never leaves a truncated file behind. A missing
+/// parent directory surfaces as an `Err` (`NotFound`) instead of a
+/// panic; a failed rename cleans the temp file up.
+pub fn write_atomic(path: impl AsRef<Path>, contents: impl AsRef<[u8]>) -> std::io::Result<()> {
+    let path = path.as_ref();
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, contents)?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -189,6 +213,43 @@ mod tests {
         assert!(alpha < zeta, "counters must be name-sorted");
         assert!(json.contains("\"count\": 1"));
         assert!(json.contains("\"sum\": 7"));
+    }
+
+    #[test]
+    fn metrics_json_carries_quantiles() {
+        let session = Session::begin();
+        for i in 0..8u32 {
+            crate::record("q", 1u64 << i);
+        }
+        let report = session.finish();
+        let json = crate::metrics_json(&report);
+        assert!(json.contains("\"p50\": 8"), "{json}");
+        assert!(json.contains("\"p95\": 64"), "{json}");
+        assert!(json.contains("\"p99\": 64"), "{json}");
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_cleans_up() {
+        let dir = std::env::temp_dir().join("pacor_obs_write_atomic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.json");
+        crate::write_atomic(&path, "first").unwrap();
+        crate::write_atomic(&path, "second").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second");
+        assert!(
+            !dir.join("out.json.tmp").exists(),
+            "temp file must not linger"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_atomic_errors_on_missing_parent() {
+        let path = std::env::temp_dir()
+            .join("pacor_obs_no_such_dir")
+            .join("out.json");
+        let err = crate::write_atomic(&path, "x").expect_err("parent is missing");
+        assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
     }
 
     #[test]

@@ -18,6 +18,11 @@
 //!   Perfetto) and [`metrics_json`] renders a flat, wall-clock-free
 //!   metrics document that is byte-identical at any worker-thread
 //!   count.
+//! * **Flight recorder** ([`flight_install`], [`flight`],
+//!   [`flight_take`]) — a bounded, deterministic log of typed events
+//!   (per-net search outcomes, rip-up victims with reasons, congestion
+//!   snapshots) feeding the [`post_mortem_json`] diagnostic report and
+//!   the [`render_heatmap`] ASCII view; see the `recorder` module docs.
 //!
 //! # Recording model
 //!
@@ -61,10 +66,18 @@
 mod export;
 mod frame;
 mod histogram;
+mod recorder;
+mod report;
 
-pub use export::{chrome_trace, metrics_json};
+pub use export::{chrome_trace, metrics_json, write_atomic};
 pub use frame::{Frame, TraceEvent};
 pub use histogram::Histogram;
+pub use recorder::{
+    flight, flight_active, flight_begin_session, flight_install, flight_snapshot,
+    flight_snapshot_due, flight_take, CongestionSnapshot, FlightEvent, FlightLog, FrontierCell,
+    RecorderConfig, RipReason, SnapshotKind,
+};
+pub use report::{post_mortem_json, render_heatmap};
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;

@@ -14,7 +14,11 @@
 use crate::parallel::parallel_map_with;
 use crate::{AStar, AStarScratch, HistoryCost};
 use pacor_grid::{GridPath, ObsMap, Point};
+use pacor_obs::{FlightEvent, RipReason, SnapshotKind};
 use serde::{Deserialize, Serialize};
+
+/// "Untagged" sentinel for [`RouteRequest::net`].
+const NO_NET: u32 = u32::MAX;
 
 /// One tree edge to route: any source cell to any target cell.
 ///
@@ -26,6 +30,11 @@ pub struct RouteRequest {
     pub sources: Vec<Point>,
     /// Candidate end cells.
     pub targets: Vec<Point>,
+    /// Net id the flight recorder attributes this request to
+    /// (`u32::MAX` = untagged; events then fall back to the request
+    /// index). Callers tag with their cluster id via
+    /// [`RouteRequest::with_net`].
+    pub net: u32,
 }
 
 impl RouteRequest {
@@ -34,7 +43,53 @@ impl RouteRequest {
         Self {
             sources: vec![source],
             targets: vec![target],
+            net: NO_NET,
         }
+    }
+
+    /// Tags the request with a net id for flight-recorder attribution.
+    pub fn with_net(mut self, net: u32) -> Self {
+        self.net = net;
+        self
+    }
+}
+
+/// The flight-recorder net id of request `e`: its tag, or the request
+/// index when untagged.
+fn net_id(edges: &[RouteRequest], e: usize) -> u32 {
+    match edges[e].net {
+        NO_NET => e as u32,
+        net => net,
+    }
+}
+
+/// Builds a mid-negotiation congestion snapshot: per-cell occupancy of
+/// the current routed state plus the history cost quantized to integer
+/// milli-units (both deterministic, so the snapshot bytes are too).
+fn congestion_snapshot(
+    session: u32,
+    round: u32,
+    obs: &ObsMap,
+    history: &HistoryCost,
+) -> pacor_obs::CongestionSnapshot {
+    let (w, h) = (obs.width(), obs.height());
+    let mut occupancy = Vec::with_capacity((w * h) as usize);
+    let mut heat_milli = Vec::with_capacity((w * h) as usize);
+    for y in 0..h {
+        for x in 0..w {
+            let p = Point::new(x as i32, y as i32);
+            occupancy.push(u8::from(obs.is_blocked(p)));
+            heat_milli.push((history.cost(p) * 1000.0).round() as u32);
+        }
+    }
+    pacor_obs::CongestionSnapshot {
+        kind: SnapshotKind::Round,
+        session,
+        round,
+        width: w,
+        height: h,
+        occupancy,
+        heat_milli,
     }
 }
 
@@ -323,7 +378,11 @@ impl DirtyStamp {
 /// the policy loops never see whether a result was speculated.
 enum Attempt {
     /// Routed; the path's cells are already blocked in the obstacle map.
-    Routed(GridPath),
+    /// The second field is the search's expanded-cell count, computed
+    /// only while the flight recorder is active (0 otherwise) — an
+    /// accepted speculation ran step-identically to the serial search,
+    /// so the count is negotiation-mode invariant.
+    Routed(GridPath, u32),
     /// Unroutable this round. Carries the flooded free region the failed
     /// search reached (its contended cells) when the flat kernel
     /// recorded one; `None` when the search was opaque — out-of-bounds
@@ -380,24 +439,34 @@ impl RoundExec {
         scratch: &mut AStarScratch,
     ) -> Vec<Attempt> {
         match self {
-            RoundExec::Serial => pending
-                .iter()
-                .map(|&e| {
-                    let req = &edges[e];
-                    let path = AStar::with_history(obs, history).route_with_scratch(
-                        &req.sources,
-                        &req.targets,
-                        scratch,
-                    );
-                    match path {
-                        Some(p) => {
-                            obs.block_all(p.cells().iter().copied());
-                            Attempt::Routed(p)
+            RoundExec::Serial => {
+                let (width, height) = (obs.width() as usize, obs.height() as usize);
+                pending
+                    .iter()
+                    .map(|&e| {
+                        let req = &edges[e];
+                        let path = AStar::with_history(obs, history).route_with_scratch(
+                            &req.sources,
+                            &req.targets,
+                            scratch,
+                        );
+                        match path {
+                            Some(p) => {
+                                let expanded = if pacor_obs::flight_active()
+                                    && Self::transparent(req, width, height)
+                                {
+                                    scratch.expanded_cells().count() as u32
+                                } else {
+                                    0
+                                };
+                                obs.block_all(p.cells().iter().copied());
+                                Attempt::Routed(p, expanded)
+                            }
+                            None => Attempt::Failed(Self::flood_of(req, scratch, obs)),
                         }
-                        None => Attempt::Failed(Self::flood_of(req, scratch, obs)),
-                    }
-                })
-                .collect(),
+                    })
+                    .collect()
+            }
             RoundExec::Parallel { threads, dirty } => {
                 let (width, height) = (obs.width() as usize, obs.height() as usize);
                 // Phase 1 — speculate: route every transparent pending
@@ -449,15 +518,21 @@ impl RoundExec {
                             Some(p) => {
                                 obs.block_all(p.cells().iter().copied());
                                 dirty.mark_all(p.cells());
-                                Attempt::Routed(p)
+                                Attempt::Routed(p, s.expanded.len() as u32)
                             }
                             None => Attempt::Failed(Some(s.expanded)),
                         },
                         spec => {
                             if spec.is_some() {
                                 pacor_obs::counter_add("negotiate.conflicts", 1);
+                                pacor_obs::flight(|| FlightEvent::SpecConflict {
+                                    net: net_id(edges, e),
+                                });
                             }
                             pacor_obs::counter_add("negotiate.serial_fallbacks", 1);
+                            pacor_obs::flight(|| FlightEvent::SerialFallback {
+                                net: net_id(edges, e),
+                            });
                             let path = AStar::with_history(obs, history).route_with_scratch(
                                 &req.sources,
                                 &req.targets,
@@ -465,9 +540,16 @@ impl RoundExec {
                             );
                             match path {
                                 Some(p) => {
+                                    let expanded = if pacor_obs::flight_active()
+                                        && Self::transparent(req, width, height)
+                                    {
+                                        scratch.expanded_cells().count() as u32
+                                    } else {
+                                        0
+                                    };
                                     obs.block_all(p.cells().iter().copied());
                                     dirty.mark_all(p.cells());
-                                    Attempt::Routed(p)
+                                    Attempt::Routed(p, expanded)
                                 }
                                 None => Attempt::Failed(Self::flood_of(req, scratch, obs)),
                             }
@@ -575,6 +657,7 @@ impl NegotiationRouter {
     /// thread-local scratch.
     pub fn route_all(&self, obs: &mut ObsMap, edges: &[RouteRequest]) -> NegotiationOutcome {
         let _span = pacor_obs::span_with("negotiate", &[("edges", edges.len() as u64)]);
+        let fs = pacor_obs::flight_begin_session(edges.len() as u32);
         let mut scratch = AStarScratch::new();
         let mut exec = match self.mode {
             NegotiationMode::Serial => RoundExec::Serial,
@@ -584,8 +667,10 @@ impl NegotiationRouter {
             },
         };
         match self.ripup {
-            RipUpPolicy::Full => self.route_full(obs, edges, &mut scratch, &mut exec),
-            RipUpPolicy::Incremental => self.route_incremental(obs, edges, &mut scratch, &mut exec),
+            RipUpPolicy::Full => self.route_full(obs, edges, &mut scratch, &mut exec, fs),
+            RipUpPolicy::Incremental => {
+                self.route_incremental(obs, edges, &mut scratch, &mut exec, fs)
+            }
         }
     }
 
@@ -597,6 +682,7 @@ impl NegotiationRouter {
         edges: &[RouteRequest],
         scratch: &mut AStarScratch,
         exec: &mut RoundExec,
+        fs: u32,
     ) -> NegotiationOutcome {
         let mut history = HistoryCost::with_params(obs.width(), obs.height(), self.base, self.alpha);
         let outer_cp = obs.checkpoint();
@@ -615,9 +701,34 @@ impl NegotiationRouter {
             let attempts = exec.attempt_round(obs, &history, edges, &order, scratch);
             for (attempt, &e) in attempts.into_iter().zip(&order) {
                 match attempt {
-                    Attempt::Routed(p) => paths[e] = Some(p),
-                    Attempt::Failed(_) => done = false,
+                    Attempt::Routed(p, expanded) => {
+                        pacor_obs::flight(|| FlightEvent::NetAttempt {
+                            session: fs,
+                            round: iterations,
+                            net: net_id(edges, e),
+                            routed: true,
+                            length: p.len(),
+                            expanded,
+                            flood: 0,
+                        });
+                        paths[e] = Some(p);
+                    }
+                    Attempt::Failed(flood) => {
+                        pacor_obs::flight(|| FlightEvent::NetAttempt {
+                            session: fs,
+                            round: iterations,
+                            net: net_id(edges, e),
+                            routed: false,
+                            length: 0,
+                            expanded: flood.as_ref().map_or(0, |f| f.len() as u32),
+                            flood: flood.as_ref().map_or(0, |f| f.len() as u32),
+                        });
+                        done = false;
+                    }
                 }
+            }
+            if pacor_obs::flight_snapshot_due(iterations, done || iterations >= self.gamma) {
+                pacor_obs::flight_snapshot(congestion_snapshot(fs, iterations, obs, &history));
             }
 
             if done {
@@ -642,6 +753,18 @@ impl NegotiationRouter {
             // Steps 17–19: bump history along every routed path, then rip
             // all paths up.
             let round_ripups = paths.iter().flatten().count() as u64;
+            if pacor_obs::flight_active() {
+                for (e, p) in paths.iter().enumerate() {
+                    if p.is_some() {
+                        pacor_obs::flight(|| FlightEvent::RipUp {
+                            session: fs,
+                            round: iterations,
+                            net: net_id(edges, e),
+                            reason: RipReason::FullPolicy,
+                        });
+                    }
+                }
+            }
             ripups += round_ripups;
             pacor_obs::counter_add("negotiate.ripups", round_ripups);
             history.bump_all(paths.iter().flatten().map(|p| p.cells()));
@@ -665,6 +788,7 @@ impl NegotiationRouter {
         edges: &[RouteRequest],
         scratch: &mut AStarScratch,
         exec: &mut RoundExec,
+        fs: u32,
     ) -> NegotiationOutcome {
         let (width, height) = (obs.width() as usize, obs.height() as usize);
         let mut history = HistoryCost::with_params(obs.width(), obs.height(), self.base, self.alpha);
@@ -701,22 +825,57 @@ impl NegotiationRouter {
             let mut contended: Vec<Point> = Vec::new();
             let mut rip_all = false;
 
+            let mut opaque = false;
             let attempts = exec.attempt_round(obs, &history, edges, &pending, scratch);
             for (attempt, &e) in attempts.into_iter().zip(&pending) {
                 match attempt {
-                    Attempt::Routed(p) => {
+                    Attempt::Routed(p, expanded) => {
+                        pacor_obs::flight(|| FlightEvent::NetAttempt {
+                            session: fs,
+                            round: iterations,
+                            net: net_id(edges, e),
+                            routed: true,
+                            length: p.len(),
+                            expanded,
+                            flood: 0,
+                        });
                         owners.add(e as u32, p.cells());
                         paths[e] = Some(p);
                     }
                     Attempt::Failed(Some(flood)) => {
+                        pacor_obs::flight(|| FlightEvent::NetAttempt {
+                            session: fs,
+                            round: iterations,
+                            net: net_id(edges, e),
+                            routed: false,
+                            length: 0,
+                            expanded: flood.len() as u32,
+                            flood: flood.len() as u32,
+                        });
                         failed.push(e);
                         contended.extend(flood);
                     }
                     Attempt::Failed(None) => {
+                        pacor_obs::flight(|| FlightEvent::NetAttempt {
+                            session: fs,
+                            round: iterations,
+                            net: net_id(edges, e),
+                            routed: false,
+                            length: 0,
+                            expanded: 0,
+                            flood: 0,
+                        });
                         failed.push(e);
                         rip_all = true;
+                        opaque = true;
                     }
                 }
+            }
+            if pacor_obs::flight_snapshot_due(
+                iterations,
+                failed.is_empty() || iterations >= self.gamma,
+            ) {
+                pacor_obs::flight_snapshot(congestion_snapshot(fs, iterations, obs, &history));
             }
 
             if failed.is_empty() {
@@ -762,6 +921,13 @@ impl NegotiationRouter {
             // Rip up: bump history only along ripped paths, drop them
             // from the owner index, and re-block the kept paths after
             // rolling the transient state back.
+            let victim_reason = if opaque {
+                RipReason::Opaque
+            } else if rip_all {
+                RipReason::Escalated
+            } else {
+                RipReason::ContendedWall
+            };
             let mut round_ripups = 0u64;
             for (e, slot) in paths.iter_mut().enumerate() {
                 if !rip[e] {
@@ -769,6 +935,12 @@ impl NegotiationRouter {
                 }
                 if let Some(p) = slot.take() {
                     round_ripups += 1;
+                    pacor_obs::flight(|| FlightEvent::RipUp {
+                        session: fs,
+                        round: iterations,
+                        net: net_id(edges, e),
+                        reason: victim_reason,
+                    });
                     history.bump_all([p.cells()]);
                     owners.remove(e as u32, p.cells());
                 }

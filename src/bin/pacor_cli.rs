@@ -19,7 +19,13 @@
 //! * `--trace-out <path>` — write the run's Chrome trace-event JSON
 //!   (loadable in `chrome://tracing` or Perfetto).
 //! * `--metrics-out <path>` — write the run's flat metrics JSON
-//!   (counters + histograms; byte-identical at any `--threads`).
+//!   (counters + histograms with quantiles; byte-identical at any
+//!   `--threads`).
+//! * `--report-out <path>` — install the flight recorder around the run
+//!   and write the post-mortem report JSON (hottest cells, contended
+//!   nets, per-cluster LM slack, escape bottlenecks; byte-identical at
+//!   any `--threads`, either negotiation mode, and either rip-up policy
+//!   whenever those settings route the same result).
 //! * `--ripup-policy full|incremental` — what negotiation rips up between
 //!   failed rounds (default `incremental`; `full` is the paper's
 //!   Algorithm 1, kept for ablation).
@@ -44,7 +50,7 @@ fn main() {
         Some("table2") => cmd_table2(&args[1..]),
         _ => {
             eprintln!(
-                "usage: pacor synth <design> [seed]\n       pacor route [--threads N] [--trace-out FILE] [--metrics-out FILE] [--ripup-policy full|incremental] [--negotiation-mode serial|parallel] [--quiet] <problem.json|design>\n       pacor render [--threads N] <problem.json|design>\n       pacor table2 [--full] [--threads N]"
+                "usage: pacor synth <design> [seed]\n       pacor route [--threads N] [--trace-out FILE] [--metrics-out FILE] [--report-out FILE] [--ripup-policy full|incremental] [--negotiation-mode serial|parallel] [--quiet] <problem.json|design>\n       pacor render [--threads N] <problem.json|design>\n       pacor table2 [--full] [--threads N]"
             );
             2
         }
@@ -71,6 +77,7 @@ struct Options {
     threads: usize,
     trace_out: Option<String>,
     metrics_out: Option<String>,
+    report_out: Option<String>,
     ripup_policy: Option<RipUpPolicy>,
     negotiation_mode: Option<NegotiationMode>,
     quiet: bool,
@@ -112,6 +119,7 @@ fn parse_options(args: &[String], allowed: &[&str]) -> Result<Options, String> {
             }
             "--trace-out" => opts.trace_out = Some(value()?),
             "--metrics-out" => opts.metrics_out = Some(value()?),
+            "--report-out" => opts.report_out = Some(value()?),
             "--ripup-policy" => {
                 let v = value()?;
                 opts.ripup_policy = Some(RipUpPolicy::parse(&v).ok_or_else(|| {
@@ -173,11 +181,11 @@ fn cmd_synth(args: &[String]) -> i32 {
 /// `--metrics-out` from a finished outer session.
 fn write_exports(opts: &Options, report: &pacor::obs::ObsReport) -> Result<(), String> {
     if let Some(path) = &opts.trace_out {
-        std::fs::write(path, pacor::obs::chrome_trace(report))
+        pacor::obs::write_atomic(path, pacor::obs::chrome_trace(report))
             .map_err(|e| format!("writing {path}: {e}"))?;
     }
     if let Some(path) = &opts.metrics_out {
-        std::fs::write(path, pacor::obs::metrics_json(report))
+        pacor::obs::write_atomic(path, pacor::obs::metrics_json(report))
             .map_err(|e| format!("writing {path}: {e}"))?;
     }
     Ok(())
@@ -190,6 +198,7 @@ fn cmd_route(args: &[String]) -> i32 {
             "--threads",
             "--trace-out",
             "--metrics-out",
+            "--report-out",
             "--ripup-policy",
             "--negotiation-mode",
             "--quiet",
@@ -220,13 +229,25 @@ fn cmd_route(args: &[String]) -> i32 {
         .with_threads(opts.threads)
         .with_ripup_policy(opts.ripup_policy.unwrap_or_default())
         .with_negotiation_mode(opts.negotiation_mode.unwrap_or_default());
+    if opts.report_out.is_some() {
+        pacor::obs::flight_install(config.recorder_config());
+    }
     let result = PacorFlow::new(config).run(&problem);
+    let flight_log = pacor::obs::flight_take();
     let obs_report = session.map(pacor::obs::Session::finish);
     match result {
         Ok(report) => {
             if let Some(obs_report) = &obs_report {
                 if let Err(e) = write_exports(&opts, obs_report) {
                     eprintln!("route: {e}");
+                    return 1;
+                }
+            }
+            if let Some(path) = &opts.report_out {
+                let log = flight_log.expect("recorder was installed");
+                let json = pacor::obs::post_mortem_json(&log);
+                if let Err(e) = pacor::obs::write_atomic(path, json) {
+                    eprintln!("route: writing {path}: {e}");
                     return 1;
                 }
             }

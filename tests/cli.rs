@@ -227,3 +227,105 @@ fn table2_prints_all_synth_designs() {
     assert!(text.contains("PACOR"));
     assert!(text.contains("w/o Sel"));
 }
+
+#[test]
+fn route_writes_post_mortem_report() {
+    let dir = std::env::temp_dir().join("pacor_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("s2_postmortem.json");
+    let out = pacor(&[
+        "route",
+        "--quiet",
+        "--report-out",
+        path.to_str().unwrap(),
+        "S2",
+    ]);
+    assert!(out.status.success());
+    let text = std::fs::read_to_string(&path).unwrap();
+    // The report round-trips through the serde layer and exposes its
+    // sections as typed values.
+    let v: serde::Value = serde_json::from_str(&text).unwrap();
+    assert_eq!(
+        v.field("schema").unwrap(),
+        &serde::Value::Str("pacor-postmortem-v1".into())
+    );
+    let outcome = v.field("outcome").unwrap();
+    assert_eq!(outcome.field("clusters").unwrap(), &serde::Value::Int(5));
+    for section in [
+        "unrouted_nets",
+        "negotiation",
+        "history",
+        "hot_cells",
+        "lm_clusters",
+        "escape",
+        "snapshots",
+    ] {
+        assert!(v.field(section).is_ok(), "report must carry {section}");
+    }
+}
+
+#[test]
+fn report_out_names_unrouted_nets_on_a_failing_chip() {
+    // A chip with more clusters than control pins cannot fully escape;
+    // the post-mortem must name the unrouted nets.
+    let starved = pacor_repro::pacor::DesignParams {
+        name: "T1-starved",
+        width: 20,
+        height: 20,
+        valves: 8,
+        control_pins: 2,
+        obstacles: 0,
+        multi_clusters: 3,
+        pairs_only: true,
+    };
+    let problem = pacor_repro::pacor::synthesize_params(starved, 42);
+    let dir = std::env::temp_dir().join("pacor_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let problem_path = dir.join("starved.json");
+    std::fs::write(
+        &problem_path,
+        serde_json::to_string_pretty(&problem).unwrap(),
+    )
+    .unwrap();
+    let report_path = dir.join("starved_postmortem.json");
+    let out = pacor(&[
+        "route",
+        "--quiet",
+        "--report-out",
+        report_path.to_str().unwrap(),
+        problem_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let text = std::fs::read_to_string(&report_path).unwrap();
+    let v: serde::Value = serde_json::from_str(&text).unwrap();
+    let unrouted = v.field("outcome").unwrap().field("unrouted").unwrap();
+    match unrouted {
+        serde::Value::Array(ids) => assert!(
+            !ids.is_empty(),
+            "starved chip must report unrouted nets: {text}"
+        ),
+        other => panic!("unrouted must be an array, got {other:?}"),
+    }
+    match v.field("unrouted_nets").unwrap() {
+        serde::Value::Array(nets) => assert!(!nets.is_empty()),
+        other => panic!("unrouted_nets must be an array, got {other:?}"),
+    }
+}
+
+#[test]
+fn export_flags_error_cleanly_on_missing_parent_dir() {
+    let missing = std::env::temp_dir()
+        .join("pacor_cli_no_such_dir")
+        .join("out.json");
+    let _ = std::fs::remove_dir_all(missing.parent().unwrap());
+    for flag in ["--report-out", "--metrics-out", "--trace-out"] {
+        let out = pacor(&["route", "--quiet", flag, missing.to_str().unwrap(), "S1"]);
+        assert!(!out.status.success(), "{flag} must fail, not succeed");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("writing"), "{flag} must report the path: {err}");
+        assert!(
+            !err.contains("panicked"),
+            "{flag} must error, not panic: {err}"
+        );
+    }
+}

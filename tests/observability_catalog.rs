@@ -1,0 +1,74 @@
+//! Anti-rot guard for `docs/OBSERVABILITY.md`: run a smoke flow that
+//! exercises both negotiation modes and both rip-up policies with the
+//! flight recorder installed, and assert that every counter, histogram,
+//! span, instant, and recorder-event name actually emitted appears in
+//! the catalog. Adding an emit site without cataloging it fails here.
+
+use pacor_repro::pacor::obs::{self, TraceEvent};
+use pacor_repro::pacor::route::{NegotiationMode, RipUpPolicy};
+use pacor_repro::pacor::{synthesize_params, DesignParams, FlowConfig, PacorFlow};
+use std::collections::BTreeSet;
+
+#[test]
+fn every_emitted_name_is_catalogued() {
+    // Dense enough that negotiation rips up and escape recovers, so the
+    // rarer emit sites (rip-up, de-clustering, detouring) all fire.
+    let dense = DesignParams {
+        name: "D1-dense24",
+        width: 24,
+        height: 24,
+        valves: 18,
+        control_pins: 40,
+        obstacles: 50,
+        multi_clusters: 8,
+        pairs_only: false,
+    };
+    let problem = synthesize_params(dense, 42);
+
+    let session = obs::Session::begin();
+    let config = FlowConfig::default()
+        .with_threads(4)
+        .with_negotiation_mode(NegotiationMode::Parallel);
+    obs::flight_install(config.recorder_config());
+    let mut kinds: BTreeSet<&'static str> = BTreeSet::new();
+    for policy in [RipUpPolicy::Full, RipUpPolicy::Incremental] {
+        PacorFlow::new(config.with_ripup_policy(policy))
+            .run(&problem)
+            .expect("dense chip routes");
+    }
+    let log = obs::flight_take().expect("recorder installed");
+    kinds.extend(log.events().iter().map(|e| e.kind()));
+    let report = session.finish();
+
+    let mut names: BTreeSet<String> = BTreeSet::new();
+    names.extend(report.counters().map(|(n, _)| n.to_string()));
+    names.extend(report.histograms().map(|(n, _)| n.to_string()));
+    for event in report.events() {
+        match event {
+            TraceEvent::Span { name, .. }
+            | TraceEvent::Instant { name, .. }
+            | TraceEvent::Counter { name, .. } => {
+                names.insert(name.to_string());
+            }
+        }
+    }
+    names.extend(kinds.iter().map(|k| k.to_string()));
+    assert!(
+        names.contains("negotiate.ripups") && names.contains("rip_up"),
+        "smoke flow too tame to guard the catalog: {names:?}"
+    );
+
+    let catalog = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/docs/OBSERVABILITY.md"
+    ))
+    .expect("docs/OBSERVABILITY.md exists");
+    let missing: Vec<&String> = names
+        .iter()
+        .filter(|n| !catalog.contains(&format!("`{n}`")))
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "emitted names missing from docs/OBSERVABILITY.md: {missing:?}"
+    );
+}
