@@ -2,14 +2,15 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test clippy bench tables obs-smoke bench-flow bench-smoke negotiate-smoke bench-check
+.PHONY: verify build test clippy bench tables obs-smoke bench-flow bench-smoke negotiate-smoke bench-check golden profile
 
 # The acceptance gate: release build, full test suite, zero-warning
-# lints, a smoke-run of the observability exports, a smoke-run of the
+# lints, the golden end-to-end snapshots (all chips, release mode), a
+# smoke-run of the observability exports, a smoke-run of the
 # end-to-end flow benchmark harness, a serial-vs-parallel negotiation
 # equivalence check, and a determinism check of the smallest benchmark
 # chip against the committed BENCH_flow.json baseline.
-verify: build test clippy obs-smoke bench-smoke negotiate-smoke bench-check
+verify: build test clippy golden obs-smoke bench-smoke negotiate-smoke bench-check
 
 build:
 	$(CARGO) build --release --workspace
@@ -72,6 +73,20 @@ negotiate-smoke:
 	m = json.load(open('target/neg_par_metrics.json')); \
 	assert m['counters'].get('negotiate.speculative', 0) > 0, m['counters']; \
 	print('negotiate-smoke: identical reports,', m['counters']['negotiate.speculative'], 'speculative routes')"
+
+# Golden end-to-end snapshots for every bench chip, including the
+# debug-`#[ignore]`d B3-dense96 (minutes in debug, seconds in release).
+# Regenerate fixtures after an intentional routing change with
+# `UPDATE_GOLDEN=1 make golden`.
+golden:
+	$(CARGO) test --release --test golden_flow -- --include-ignored
+
+# Per-stage wall-clock attribution for the largest bench chip: prints
+# the top spans by exclusive time and writes a Perfetto-loadable Chrome
+# trace. This profile decides which stage an optimization PR attacks.
+profile:
+	$(CARGO) run --release -p pacor-bench --bin profile_flow -- \
+		--chip B3-dense96 --top 5 --trace-out target/profile_flow_trace.json
 
 tables:
 	$(CARGO) run --release -p pacor-bench --bin tables -- all

@@ -1,0 +1,169 @@
+//! `profile_flow` — per-stage wall-clock attribution for one chip.
+//!
+//! ```text
+//! profile_flow [--chip NAME] [--trace-out FILE] [--top N]
+//! ```
+//!
+//! Synthesizes one benchmark chip (default the largest,
+//! `B3-dense96`), runs the full flow once under an observability
+//! session, and prints every span name's **inclusive** and
+//! **exclusive** wall-clock (exclusive = inclusive minus the time
+//! spent in child spans on the same trace lane), sorted by exclusive
+//! time. This is the profile that decides which stage the next
+//! optimization PR attacks — `make profile` wraps it.
+//!
+//! `--trace-out FILE` additionally writes the Chrome trace-event JSON
+//! for the run, loadable in Perfetto for a zoomable view of the same
+//! data.
+
+use pacor::obs::TraceEvent;
+use pacor::{synthesize_params, DesignParams, FlowConfig, PacorFlow};
+use pacor_bench::{BENCH_SEED, FLOW_BENCH_CHIPS, FLOW_SMOKE_CHIP};
+use std::collections::BTreeMap;
+
+fn main() {
+    let mut chip_name = "B3-dense96".to_string();
+    let mut trace_out: Option<String> = None;
+    let mut top = 5usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--chip" => match args.next() {
+                Some(v) => chip_name = v,
+                None => return usage("--chip requires a value"),
+            },
+            "--trace-out" => match args.next() {
+                Some(v) => trace_out = Some(v),
+                None => return usage("--trace-out requires a value"),
+            },
+            "--top" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => top = n,
+                _ => return usage("--top requires a positive integer"),
+            },
+            other => return usage(&format!("unknown argument {other}")),
+        }
+    }
+
+    let chips: Vec<DesignParams> = FLOW_BENCH_CHIPS
+        .iter()
+        .chain(std::iter::once(&FLOW_SMOKE_CHIP))
+        .copied()
+        .collect();
+    let Some(chip) = chips.iter().find(|c| c.name == chip_name) else {
+        let names: Vec<&str> = chips.iter().map(|c| c.name).collect();
+        return usage(&format!(
+            "unknown chip {chip_name:?}; available: {names:?}"
+        ));
+    };
+
+    let problem = synthesize_params(*chip, BENCH_SEED);
+    let config = FlowConfig::default();
+    // Warm-up run so first-touch costs don't skew the profile.
+    PacorFlow::new(config)
+        .run(&problem)
+        .expect("synthesized designs are valid");
+
+    let session = pacor::obs::Session::begin();
+    let start = std::time::Instant::now();
+    PacorFlow::new(config)
+        .run(&problem)
+        .expect("synthesized designs are valid");
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let report = session.finish();
+
+    if let Some(path) = &trace_out {
+        let json = pacor::obs::chrome_trace(&report);
+        if let Err(e) = pacor::obs::write_atomic(path, json) {
+            eprintln!("profile_flow: writing {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("profile_flow: wrote {path}");
+    }
+
+    let rows = span_profile(report.events());
+    println!(
+        "profile_flow: {} ({}x{}), wall {wall_ms:.1} ms — top {top} spans by exclusive time",
+        chip.name, chip.width, chip.height
+    );
+    println!(
+        "{:<22} {:>7} {:>12} {:>12} {:>7}",
+        "span", "count", "incl_ms", "excl_ms", "excl%"
+    );
+    for row in rows.iter().take(top) {
+        println!(
+            "{:<22} {:>7} {:>12.3} {:>12.3} {:>6.1}%",
+            row.name,
+            row.count,
+            row.inclusive_us as f64 / 1e3,
+            row.exclusive_us as f64 / 1e3,
+            100.0 * row.exclusive_us as f64 / (wall_ms * 1e3)
+        );
+    }
+}
+
+/// Aggregated timing of every span sharing one name.
+struct SpanRow {
+    name: &'static str,
+    count: usize,
+    inclusive_us: u64,
+    exclusive_us: u64,
+}
+
+/// Reconstructs span nesting per trace lane (`tid`) from the flat event
+/// stream and attributes exclusive time: each span's duration minus the
+/// durations of its *direct* children. Spans are recorded at close time
+/// (children precede parents in the stream), so a span's children are
+/// the maximal earlier spans on the same lane contained in its
+/// `[ts, ts + dur]` window that no intermediate span already claimed.
+fn span_profile(events: &[TraceEvent]) -> Vec<SpanRow> {
+    #[derive(Clone, Copy)]
+    struct Open {
+        ts: u64,
+        end: u64,
+    }
+    let mut inclusive: BTreeMap<&'static str, (usize, u64)> = BTreeMap::new();
+    let mut exclusive: BTreeMap<&'static str, u64> = BTreeMap::new();
+    // Per-lane stack of spans whose parent has not closed yet.
+    let mut lanes: BTreeMap<u32, Vec<(Open, &'static str)>> = BTreeMap::new();
+    for e in events {
+        let TraceEvent::Span { name, ts, dur, tid, .. } = e else {
+            continue;
+        };
+        let end = ts + dur;
+        let lane = lanes.entry(*tid).or_default();
+        // Pop every earlier span this one contains: they are its direct
+        // children (transitive children were already claimed by them).
+        let mut child_us = 0u64;
+        while let Some((open, _)) = lane.last() {
+            if open.ts >= *ts && open.end <= end {
+                child_us += open.end - open.ts;
+                lane.pop();
+            } else {
+                break;
+            }
+        }
+        let entry = inclusive.entry(name).or_insert((0, 0));
+        entry.0 += 1;
+        entry.1 += dur;
+        *exclusive.entry(name).or_insert(0) += dur.saturating_sub(child_us);
+        lane.push((Open { ts: *ts, end }, name));
+    }
+    let mut rows: Vec<SpanRow> = inclusive
+        .into_iter()
+        .map(|(name, (count, inclusive_us))| SpanRow {
+            name,
+            count,
+            inclusive_us,
+            exclusive_us: exclusive.get(name).copied().unwrap_or(0),
+        })
+        .collect();
+    rows.sort_by(|a, b| b.exclusive_us.cmp(&a.exclusive_us).then(a.name.cmp(b.name)));
+    rows
+}
+
+fn usage(err: &str) {
+    eprintln!(
+        "profile_flow: {err}\nusage: profile_flow [--chip NAME] [--trace-out FILE] [--top N]"
+    );
+    std::process::exit(2);
+}

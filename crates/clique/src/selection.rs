@@ -57,7 +57,10 @@ impl SelectionInstance {
     }
 
     /// Builds the MWCP graph with cardinality bonus `bonus` per node.
-    fn to_graph(&self, bonus: f64) -> WeightedGraph {
+    /// Exposed (hidden) so the equivalence property tests can pin the
+    /// production graph builder to [`Self::to_graph_reference`].
+    #[doc(hidden)]
+    pub fn to_graph(&self, bonus: f64) -> WeightedGraph {
         let n = self.item_count();
         let mut g = WeightedGraph::new(n);
         let mut owner = vec![0usize; n];
@@ -90,9 +93,51 @@ impl SelectionInstance {
         g
     }
 
+    /// Pre-rewrite reference implementation of [`Self::to_graph`],
+    /// retained for the equivalence property tests
+    /// (`tests/selection_equivalence.rs`) — the same pattern as
+    /// `AStar::route_reference`. Builds the conflict graph one
+    /// `add_edge` call per cross-group pair, exactly as the builder
+    /// shipped; the production kernel must produce an equal
+    /// [`WeightedGraph`].
+    #[doc(hidden)]
+    pub fn to_graph_reference(&self, bonus: f64) -> WeightedGraph {
+        let n = self.item_count();
+        let mut g = WeightedGraph::new(n);
+        let mut owner = vec![0usize; n];
+        let mut idx = 0;
+        for (gi, group) in self.groups.iter().enumerate() {
+            for &w in group {
+                g.set_node_weight(idx, w + bonus);
+                owner[idx] = gi;
+                idx += 1;
+            }
+        }
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if owner[u] != owner[v] {
+                    g.add_edge(u, v, 0.0);
+                }
+            }
+        }
+        for &((ga, ia), (gb, ib), cost) in &self.pair_costs {
+            if ga == gb || ga >= self.groups.len() || gb >= self.groups.len() {
+                continue;
+            }
+            if ia >= self.groups[ga].len() || ib >= self.groups[gb].len() {
+                continue;
+            }
+            let (u, v) = (self.flat_index(ga, ia), self.flat_index(gb, ib));
+            g.add_edge(u, v, cost);
+        }
+        g
+    }
+
     /// A cardinality bonus strictly dominating every possible cost sum,
     /// so maximum weight ⇒ maximum cardinality ⇒ one pick per group.
-    fn dominating_bonus(&self) -> f64 {
+    /// Exposed (hidden) for the equivalence property tests.
+    #[doc(hidden)]
+    pub fn dominating_bonus(&self) -> f64 {
         let node_mag: f64 = self
             .groups
             .iter()

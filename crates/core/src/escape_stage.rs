@@ -71,7 +71,12 @@ pub fn escape_all(
             }
         }
         let sources: Vec<_> = routed.iter().map(|rc| rc.escape_source()).collect();
-        let outcome = EscapeNetwork::build(obs, &sources, pins).solve();
+        let _b = pacor_obs::span("escape.net_build");
+        let net = EscapeNetwork::build(obs, &sources, pins);
+        drop(_b);
+        let _s = pacor_obs::span("escape.net_solve");
+        let outcome = net.solve();
+        drop(_s);
         let mut failed: Vec<usize> = Vec::new();
         for (i, route) in outcome.routes.into_iter().enumerate() {
             match route {
@@ -141,7 +146,12 @@ pub fn escape_all(
         stats.rounds += 1;
         pacor_obs::counter_add("escape.rounds", 1);
         let sources: Vec<_> = pending.iter().map(|&i| routed[i].escape_source()).collect();
-        let outcome = EscapeNetwork::build(obs, &sources, pins).solve();
+        let _b = pacor_obs::span("escape.net_build");
+        let net = EscapeNetwork::build(obs, &sources, pins);
+        drop(_b);
+        let _s = pacor_obs::span("escape.net_solve");
+        let outcome = net.solve();
+        drop(_s);
         let mut failed: Vec<usize> = Vec::new();
         for (k, route) in outcome.routes.into_iter().enumerate() {
             let i = pending[k];
@@ -240,7 +250,12 @@ pub fn escape_all(
                 cur = find(routed).expect("failed singleton still present");
                 // Claim the freed corridor before the victims re-route.
                 let src = routed[cur].escape_source();
-                let solo = EscapeNetwork::build(obs, &[src], pins).solve();
+                let _b = pacor_obs::span("escape.solo_build");
+                let net = EscapeNetwork::build(obs, &[src], pins);
+                drop(_b);
+                let _s = pacor_obs::span("escape.solo_solve");
+                let solo = net.solve();
+                drop(_s);
                 if let Some(Some((path, pin))) = solo.routes.into_iter().next() {
                     obs.block_all(path.cells().iter().skip(1).copied());
                     routed[cur].commit_escape(path, pin);
@@ -331,7 +346,12 @@ pub fn escape_all(
             }
         }
         let sources: Vec<_> = routed.iter().map(|rc| rc.escape_source()).collect();
-        let outcome = EscapeNetwork::build(obs, &sources, pins).solve();
+        let _b = pacor_obs::span("escape.net_build");
+        let net = EscapeNetwork::build(obs, &sources, pins);
+        drop(_b);
+        let _s = pacor_obs::span("escape.net_solve");
+        let outcome = net.solve();
+        drop(_s);
         let failed_sources: Vec<Point> = outcome
             .routes
             .iter()

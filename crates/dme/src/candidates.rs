@@ -157,6 +157,110 @@ pub fn candidates_with_alternates(
     out
 }
 
+/// Pre-rewrite reference implementation of [`candidates`], retained for
+/// the equivalence property tests (`tests/candidates_equivalence.rs`) —
+/// the same pattern as `AStar::route_reference`. Deduplicates by the
+/// quadratic all-pairs node-embedding scan the function shipped with;
+/// the production kernel must return the identical candidate list.
+#[doc(hidden)]
+pub fn candidates_reference(
+    sinks: &[Point],
+    obs: Option<&ObsMap>,
+    config: CandidateConfig,
+) -> Vec<SteinerTree> {
+    assert!(!sinks.is_empty(), "cluster needs at least one sink");
+    assert!(config.max_candidates >= 1, "need at least one candidate");
+    let topo = balanced_bipartition(sinks);
+
+    let mut out: Vec<SteinerTree> = Vec::new();
+    for policy in EmbedPolicy::ALL {
+        if out.len() >= config.max_candidates {
+            break;
+        }
+        let mut builder = DmeBuilder::new(sinks)
+            .with_policy(policy)
+            .with_max_search_radius(config.max_search_radius);
+        if let Some(o) = obs {
+            builder = builder.with_obstacles(o);
+        }
+        let tree = builder.embed(&topo);
+        let duplicate = out.iter().any(|t| {
+            t.nodes().len() == tree.nodes().len()
+                && t.nodes()
+                    .iter()
+                    .zip(tree.nodes())
+                    .all(|(a, b)| a.point == b.point)
+        });
+        if !duplicate {
+            out.push(tree);
+        }
+    }
+    out
+}
+
+/// Pre-rewrite reference implementation of [`candidates_with_alternates`];
+/// see [`candidates_reference`].
+#[doc(hidden)]
+pub fn candidates_with_alternates_reference(
+    sinks: &[Point],
+    obs: Option<&ObsMap>,
+    config: CandidateConfig,
+    max_topologies: usize,
+) -> Vec<SteinerTree> {
+    assert!(!sinks.is_empty(), "cluster needs at least one sink");
+    if sinks.len() > 6 || max_topologies <= 1 {
+        return candidates_reference(sinks, obs, config);
+    }
+    let mut topos = crate::all_topologies(sinks.len());
+    let mut scored: Vec<(u64, usize)> = topos
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let mut b = DmeBuilder::new(sinks);
+            if let Some(o) = obs {
+                b = b.with_obstacles(o);
+            }
+            (b.embed(t).total_length(), i)
+        })
+        .collect();
+    scored.sort();
+    scored.truncate(max_topologies);
+    let keep: Vec<usize> = scored.into_iter().map(|(_, i)| i).collect();
+    let mut k = 0;
+    topos.retain(|_| {
+        let keep_it = keep.contains(&k);
+        k += 1;
+        keep_it
+    });
+
+    let mut out: Vec<SteinerTree> = Vec::new();
+    for topo in &topos {
+        for policy in EmbedPolicy::ALL {
+            if out.len() >= config.max_candidates {
+                return out;
+            }
+            let mut builder = DmeBuilder::new(sinks)
+                .with_policy(policy)
+                .with_max_search_radius(config.max_search_radius);
+            if let Some(o) = obs {
+                builder = builder.with_obstacles(o);
+            }
+            let tree = builder.embed(topo);
+            let duplicate = out.iter().any(|t| {
+                t.nodes().len() == tree.nodes().len()
+                    && t.nodes()
+                        .iter()
+                        .zip(tree.nodes())
+                        .all(|(a, b)| a.point == b.point)
+            });
+            if !duplicate {
+                out.push(tree);
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

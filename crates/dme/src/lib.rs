@@ -48,6 +48,8 @@ mod tree;
 mod trr;
 
 pub use candidates::{candidates, candidates_with_alternates, CandidateConfig};
+#[doc(hidden)]
+pub use candidates::{candidates_reference, candidates_with_alternates_reference};
 pub use embed::{DmeBuilder, EmbedPolicy};
 pub use topology::{all_topologies, balanced_bipartition, Topology};
 pub use tree::{SteinerTree, TreeNode};

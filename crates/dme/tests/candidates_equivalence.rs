@@ -1,0 +1,91 @@
+//! Property tests pinning the candidate-enumeration kernel to its
+//! retained pre-rewrite reference (`candidates_reference`), the same
+//! pattern as `AStar::route_reference`. The production kernel may
+//! change *how* it deduplicates embeddings, but every tree — nodes,
+//! order, wirelength — must stay identical to the reference on random
+//! sink sets, with and without obstacle maps.
+
+use pacor_dme::{
+    candidates, candidates_reference, candidates_with_alternates,
+    candidates_with_alternates_reference, CandidateConfig,
+};
+use pacor_grid::{Grid, ObsMap, Point};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct Setup {
+    obs: ObsMap,
+    sinks: Vec<Point>,
+}
+
+/// Deterministically derives a random obstacle grid plus distinct sink
+/// terminals (kept off obstacles) from the proptest-chosen scalars.
+fn setup(w: u32, h: u32, seed: u64, density: u32, nsinks: usize) -> Setup {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut grid = Grid::new(w, h).unwrap();
+    let mut sinks: Vec<Point> = Vec::new();
+    while sinks.len() < nsinks {
+        let p = Point::new(rng.gen_range(0..w as i32), rng.gen_range(0..h as i32));
+        if !sinks.contains(&p) {
+            sinks.push(p);
+        }
+    }
+    for y in 0..h as i32 {
+        for x in 0..w as i32 {
+            let p = Point::new(x, y);
+            if !sinks.contains(&p) && rng.gen_range(0u32..100) < density {
+                grid.set_obstacle(p);
+            }
+        }
+    }
+    Setup {
+        obs: ObsMap::new(&grid),
+        sinks,
+    }
+}
+
+proptest! {
+    #[test]
+    fn candidates_match_reference(
+        w in 6u32..24,
+        h in 6u32..24,
+        seed in 0u64..u64::MAX,
+        density in 0u32..35,
+        nsinks in 2usize..7,
+        max_candidates in 1usize..8,
+        obs_flag in 0u32..2,
+    ) {
+        let s = setup(w, h, seed, density, nsinks);
+        let config = CandidateConfig {
+            max_candidates,
+            ..CandidateConfig::default()
+        };
+        let obs = (obs_flag == 1).then_some(&s.obs);
+        let fast = candidates(&s.sinks, obs, config);
+        let reference = candidates_reference(&s.sinks, obs, config);
+        prop_assert_eq!(&fast, &reference, "candidate lists diverged");
+        prop_assert!(!fast.is_empty());
+        prop_assert!(fast.len() <= max_candidates);
+    }
+
+    #[test]
+    fn alternate_candidates_match_reference(
+        w in 6u32..20,
+        h in 6u32..20,
+        seed in 0u64..u64::MAX,
+        density in 0u32..30,
+        nsinks in 2usize..6,
+        max_topologies in 1usize..5,
+        obs_flag in 0u32..2,
+    ) {
+        let s = setup(w, h, seed, density, nsinks);
+        let config = CandidateConfig::default();
+        let obs = (obs_flag == 1).then_some(&s.obs);
+        let fast = candidates_with_alternates(&s.sinks, obs, config, max_topologies);
+        let reference =
+            candidates_with_alternates_reference(&s.sinks, obs, config, max_topologies);
+        prop_assert_eq!(&fast, &reference, "alternate candidate lists diverged");
+        prop_assert!(!fast.is_empty());
+    }
+}
