@@ -10,8 +10,11 @@
 //! [`pacor_bench::FLOW_BENCH_CHIPS`], once per rip-up policy ×
 //! negotiation configuration (serial, plus speculative-parallel at 2
 //! and 4 threads), and records wall-clock (end-to-end and inside the
-//! `negotiate` spans; best of `--repeat` runs, default 3) plus the
-//! `negotiate.rounds` / `negotiate.ripups` / `astar.scratch_resets`
+//! `negotiate` spans; best of `--repeat` runs, default 3), a per-stage
+//! `stage_ms` breakdown (span-summed clustering / lm_routing /
+//! mst_routing / escape / detour wall-clock, so speedups attribute to
+//! the stage that earned them), plus the `negotiate.rounds` /
+//! `negotiate.ripups` / `astar.scratch_resets`
 //! counter totals and the speculation counters. `--smoke` swaps the
 //! chip list for the single tiny [`pacor_bench::FLOW_SMOKE_CHIP`] so CI
 //! can exercise the harness cheaply; `--chip NAME` keeps only the named
@@ -79,14 +82,20 @@ fn main() {
                 // session (carried in the report), so entries cannot
                 // bleed.
                 let entry = run_flow_bench(chip, policy, mode, threads, BENCH_SEED, repeat);
+                let s = &entry.stage_ms;
                 eprintln!(
-                    "{:<12} {:<12} {:<9} t={} {:>9.1} ms  neg {:>8.1} ms  rounds {:>4}  ripups {:>5}  spec {:>5}  complete {:>5.1}%",
+                    "{:<12} {:<12} {:<9} t={} {:>9.1} ms  neg {:>8.1} ms  stages clu {:>6.1} lm {:>7.1} mst {:>6.1} esc {:>6.1} det {:>6.1}  rounds {:>4}  ripups {:>5}  spec {:>5}  complete {:>5.1}%",
                     entry.chip,
                     entry.policy,
                     entry.mode,
                     entry.threads,
                     entry.wall_ms,
                     entry.negotiate_ms,
+                    s.clustering,
+                    s.lm_routing,
+                    s.mst_routing,
+                    s.escape,
+                    s.detour,
                     entry.rounds,
                     entry.ripups,
                     entry.speculative,

@@ -5,6 +5,7 @@
 //! cargo run --release -p pacor-bench --bin tables -- table2 [--full] [--parallel]
 //! cargo run --release -p pacor-bench --bin tables -- fig3
 //! cargo run --release -p pacor-bench --bin tables -- ablation
+//! cargo run --release -p pacor-bench --bin tables -- stages [--full]
 //! cargo run --release -p pacor-bench --bin tables -- heatmap [design]
 //! cargo run --release -p pacor-bench --bin tables -- all [--full]
 //! ```
@@ -13,6 +14,10 @@
 //! seconds). `--parallel` runs table2 under the speculative-parallel
 //! negotiation mode (4 threads), populating the Spec/Cnfl/Fallb
 //! counter columns; the paper columns are identical either way.
+//! `stages` prints the span-summed per-stage wall-clock breakdown
+//! (clustering / LM / MST / escape / detour) per design, the same
+//! attribution `bench_flow` records as `stage_ms`, so a wall-clock
+//! movement can be pinned on the stage that caused it.
 //! `heatmap` runs one design (default S5) with the flight recorder
 //! installed and renders the ASCII congestion heatmap plus a post-mortem
 //! summary.
@@ -20,7 +25,8 @@
 use pacor::route::NegotiationMode;
 use pacor::{BenchDesign, FlowConfig, FlowVariant, RouteReport};
 use pacor_bench::{
-    metrics_header, metrics_row, run_config, run_variant, table1_header, table1_row, BENCH_SEED,
+    metrics_header, metrics_row, run_config, run_variant, table1_header, table1_row, StageMs,
+    BENCH_SEED,
 };
 
 fn main() {
@@ -35,6 +41,7 @@ fn main() {
         "fig3" => fig3(),
         "ablation" => ablation(),
         "sweep" => sweep(),
+        "stages" => stages(full),
         "heatmap" => heatmap(args.get(1).map(String::as_str)),
         "all" => {
             table1();
@@ -44,10 +51,12 @@ fn main() {
             fig3();
             println!();
             ablation();
+            println!();
+            stages(full);
         }
         other => {
             eprintln!(
-                "unknown experiment {other:?}; use table1|table2|fig3|ablation|sweep|heatmap|all"
+                "unknown experiment {other:?}; use table1|table2|fig3|ablation|stages|sweep|heatmap|all"
             );
             std::process::exit(2);
         }
@@ -176,6 +185,42 @@ fn sweep() {
             min_completion * 100.0,
             total_len as f64 / n as f64
         );
+    }
+}
+
+/// Per-stage wall-clock breakdown: where each design's flow run spends
+/// its time, summed from the `stage.*` observability spans — the same
+/// attribution `bench_flow` persists as `stage_ms` in BENCH_flow.json.
+fn stages(full: bool) {
+    println!("== Per-stage wall-clock, ms (PACOR variant, seed {BENCH_SEED}) ==");
+    println!(
+        "{:<8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "Design", "wall", "cluster", "lm", "mst", "escape", "detour"
+    );
+    let designs: Vec<BenchDesign> = if full {
+        BenchDesign::ALL.to_vec()
+    } else {
+        BenchDesign::SYNTH.to_vec()
+    };
+    for d in designs {
+        // The outer session captures the flow's spans (its nested
+        // session merges upward on finish).
+        let session = pacor::obs::Session::begin();
+        let r = run_variant(d, FlowVariant::Pacor, BENCH_SEED);
+        let s = StageMs::of(&session.finish());
+        println!(
+            "{:<8} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1}",
+            r.design,
+            r.runtime.as_secs_f64() * 1e3,
+            s.clustering,
+            s.lm_routing,
+            s.mst_routing,
+            s.escape,
+            s.detour
+        );
+    }
+    if !full {
+        println!("(run with --full to include Chip1/Chip2)");
     }
 }
 

@@ -195,6 +195,51 @@ pub struct FlowBenchEntry {
     pub total_length: u64,
     /// Fraction of valves connected (1.0 = everything routed).
     pub completion_rate: f64,
+    /// Span-summed wall-clock per flow stage (best across repeats, like
+    /// `wall_ms`), so speedups can be attributed to the stage that
+    /// earned them.
+    pub stage_ms: StageMs,
+}
+
+/// Per-stage wall-clock breakdown of one flow run, in milliseconds.
+/// Each field sums the durations of the matching `stage.*` span
+/// (inclusive — escape includes its flow solves, detour its A\* calls).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct StageMs {
+    /// `stage.clustering` spans.
+    pub clustering: f64,
+    /// `stage.lm_routing` spans (includes negotiation rounds).
+    pub lm_routing: f64,
+    /// `stage.mst_routing` spans.
+    pub mst_routing: f64,
+    /// `stage.escape` spans.
+    pub escape: f64,
+    /// `stage.detour` spans (both detour passes).
+    pub detour: f64,
+}
+
+impl StageMs {
+    /// Extracts the breakdown from an observability report.
+    pub fn of(report: &pacor::obs::ObsReport) -> Self {
+        Self {
+            clustering: span_ms_of(report, "stage.clustering"),
+            lm_routing: span_ms_of(report, "stage.lm_routing"),
+            mst_routing: span_ms_of(report, "stage.mst_routing"),
+            escape: span_ms_of(report, "stage.escape"),
+            detour: span_ms_of(report, "stage.detour"),
+        }
+    }
+
+    /// Field-wise minimum, mirroring the best-of-repeats `wall_ms` rule.
+    fn min(self, other: Self) -> Self {
+        Self {
+            clustering: self.clustering.min(other.clustering),
+            lm_routing: self.lm_routing.min(other.lm_routing),
+            mst_routing: self.mst_routing.min(other.mst_routing),
+            escape: self.escape.min(other.escape),
+            detour: self.detour.min(other.detour),
+        }
+    }
 }
 
 /// The `BENCH_flow.json` document: one entry per chip × policy × mode.
@@ -208,14 +253,14 @@ pub struct FlowBenchReport {
     pub entries: Vec<FlowBenchEntry>,
 }
 
-/// Sums the durations of every `negotiate` span in an observability
-/// report, in milliseconds.
-fn negotiate_ms_of(report: &pacor::obs::ObsReport) -> f64 {
+/// Sums the durations of every span with the given name in an
+/// observability report, in milliseconds.
+fn span_ms_of(report: &pacor::obs::ObsReport, span: &str) -> f64 {
     report
         .events()
         .iter()
         .filter_map(|e| match e {
-            pacor::obs::TraceEvent::Span { name, dur, .. } if *name == "negotiate" => Some(*dur),
+            pacor::obs::TraceEvent::Span { name, dur, .. } if *name == span => Some(*dur),
             _ => None,
         })
         .sum::<u64>() as f64
@@ -259,7 +304,9 @@ pub fn run_flow_bench(
         let report = PacorFlow::new(config)
             .run(&problem)
             .expect("synthesized designs are valid");
-        let negotiate_ms = negotiate_ms_of(&session.finish());
+        let obs = session.finish();
+        let negotiate_ms = span_ms_of(&obs, "negotiate");
+        let stage_ms = StageMs::of(&obs);
         let wall_ms = report.runtime.as_secs_f64() * 1e3;
         match &mut entry {
             None => {
@@ -281,12 +328,14 @@ pub fn run_flow_bench(
                     serial_fallbacks: report.metrics.counter("negotiate.serial_fallbacks"),
                     total_length: report.total_length,
                     completion_rate: report.completion_rate(),
+                    stage_ms,
                 });
             }
             Some(e) => {
                 assert_eq!(e.ripups, report.metrics.counter("negotiate.ripups"));
                 e.wall_ms = e.wall_ms.min(wall_ms);
                 e.negotiate_ms = e.negotiate_ms.min(negotiate_ms);
+                e.stage_ms = e.stage_ms.min(stage_ms);
             }
         }
     }

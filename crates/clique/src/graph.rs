@@ -71,6 +71,31 @@ impl WeightedGraph {
         self.edges[v * self.n + u] = Some(w);
     }
 
+    /// Connects every cross-block node pair with weight `w`, where
+    /// `block_sizes` partitions `0..len()` into consecutive blocks — the
+    /// complete multipartite graph of the MWCP selection instance. One
+    /// flat fill plus a `None`-out of the diagonal blocks replaces
+    /// `O(n²)` individual [`WeightedGraph::add_edge`] calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the block sizes don't sum to `len()`.
+    pub fn connect_multipartite(&mut self, block_sizes: &[usize], w: f64) {
+        assert_eq!(
+            block_sizes.iter().sum::<usize>(),
+            self.n,
+            "blocks must partition the node set"
+        );
+        self.edges.fill(Some(w));
+        let mut start = 0;
+        for &len in block_sizes {
+            for u in start..start + len {
+                self.edges[u * self.n + start..u * self.n + start + len].fill(None);
+            }
+            start += len;
+        }
+    }
+
     /// Edge weight of `(u, v)`, or `None` when not adjacent.
     #[inline]
     pub fn edge_weight(&self, u: usize, v: usize) -> Option<f64> {

@@ -63,23 +63,18 @@ impl SelectionInstance {
     pub fn to_graph(&self, bonus: f64) -> WeightedGraph {
         let n = self.item_count();
         let mut g = WeightedGraph::new(n);
-        let mut owner = vec![0usize; n];
         let mut idx = 0;
-        for (gi, group) in self.groups.iter().enumerate() {
+        for group in &self.groups {
             for &w in group {
                 g.set_node_weight(idx, w + bonus);
-                owner[idx] = gi;
                 idx += 1;
             }
         }
-        // Cross-group items are adjacent (cost 0 unless listed).
-        for u in 0..n {
-            for v in (u + 1)..n {
-                if owner[u] != owner[v] {
-                    g.add_edge(u, v, 0.0);
-                }
-            }
-        }
+        // Cross-group items are adjacent (cost 0 unless listed): groups
+        // occupy consecutive flat-index blocks, so the conflict graph is
+        // complete multipartite and fills in one pass.
+        let sizes: Vec<usize> = self.groups.iter().map(Vec::len).collect();
+        g.connect_multipartite(&sizes, 0.0);
         for &((ga, ia), (gb, ib), cost) in &self.pair_costs {
             if ga == gb || ga >= self.groups.len() || gb >= self.groups.len() {
                 continue;

@@ -221,15 +221,14 @@ fn segment_mut(kind: &mut RoutedKind, i: usize) -> &mut GridPath {
 fn path_sequence(kind: &RoutedKind, member: usize) -> Vec<usize> {
     match kind {
         RoutedKind::LmTree { tree, .. } => {
-            let index: std::collections::HashMap<(usize, usize), usize> = tree
-                .edge_indices()
-                .into_iter()
-                .enumerate()
-                .map(|(i, e)| (e, i))
-                .collect();
+            // Edges are (child, parent): the child node keys its edge.
+            let mut edge_of_child = vec![usize::MAX; tree.nodes().len()];
+            for (i, (child, _)) in tree.edge_indices().into_iter().enumerate() {
+                edge_of_child[child] = i;
+            }
             tree.full_path_nodes(member)
                 .windows(2)
-                .map(|w| index[&(w[0], w[1])])
+                .map(|w| edge_of_child[w[0]])
                 .collect()
         }
         RoutedKind::LmPair { .. } => vec![member],

@@ -450,6 +450,183 @@ fn blocking_clusters(
     source: Point,
     rip_counts: &HashMap<u32, u32>,
 ) -> (Vec<usize>, HashSet<Point>, Vec<(Point, usize)>) {
+    BLOCK_SCRATCH.with(|s| {
+        blocking_clusters_flat(&mut s.borrow_mut(), obs, routed, exclude, source, rip_counts)
+    })
+}
+
+/// Flat per-cell scratch reused across [`blocking_clusters`] calls.
+/// Validity of every slot is epoch-stamped (`*_at[i] == epoch`), so one
+/// counter bump per call replaces clearing four dense maps; the arrays
+/// are only ever zeroed when the grid (or cluster count) outgrows them.
+struct BlockScratch {
+    n_cells: usize,
+    /// Owning routed-cluster index per cell, valid when `owner_at` matches.
+    owner: Vec<u32>,
+    owner_at: Vec<u32>,
+    /// Cell holds a physical valve (never attributable to a rip).
+    valve_at: Vec<u32>,
+    /// Cell reached by the current flood fill.
+    seen_at: Vec<u32>,
+    /// Per routed-cluster index: already recorded as a frontier owner.
+    front_at: Vec<u32>,
+    epoch: u32,
+    queue: VecDeque<Point>,
+}
+
+thread_local! {
+    static BLOCK_SCRATCH: std::cell::RefCell<BlockScratch> =
+        const {
+            std::cell::RefCell::new(BlockScratch {
+                n_cells: 0,
+                owner: Vec::new(),
+                owner_at: Vec::new(),
+                valve_at: Vec::new(),
+                seen_at: Vec::new(),
+                front_at: Vec::new(),
+                epoch: 0,
+                queue: VecDeque::new(),
+            })
+        };
+}
+
+fn blocking_clusters_flat(
+    s: &mut BlockScratch,
+    obs: &ObsMap,
+    routed: &[RoutedCluster],
+    exclude: usize,
+    source: Point,
+    rip_counts: &HashMap<u32, u32>,
+) -> (Vec<usize>, HashSet<Point>, Vec<(Point, usize)>) {
+    let (w, h) = (obs.width() as usize, obs.height() as usize);
+    let n_cells = w * h;
+    if s.n_cells < n_cells {
+        // Grown slots start at stamp 0; the epoch never goes backwards,
+        // so every pre-existing stamp stays strictly below the next one.
+        s.n_cells = n_cells;
+        s.owner.resize(n_cells, 0);
+        s.owner_at.resize(n_cells, 0);
+        s.valve_at.resize(n_cells, 0);
+        s.seen_at.resize(n_cells, 0);
+    }
+    if s.front_at.len() < routed.len() {
+        s.front_at.resize(routed.len(), 0);
+    }
+    if s.epoch == u32::MAX {
+        s.owner_at.fill(0);
+        s.valve_at.fill(0);
+        s.seen_at.fill(0);
+        s.front_at.fill(0);
+        s.epoch = 0;
+    }
+    s.epoch += 1;
+    let epoch = s.epoch;
+    let idx = |p: Point| -> Option<usize> {
+        (p.x >= 0 && p.y >= 0 && (p.x as usize) < w && (p.y as usize) < h)
+            .then(|| p.y as usize * w + p.x as usize)
+    };
+
+    // Cells that can never be freed by a rip: every valve position.
+    for rc in routed {
+        for &pos in &rc.member_positions {
+            if let Some(ci) = idx(pos) {
+                s.valve_at[ci] = epoch;
+            }
+        }
+    }
+    // Cell ownership of committed geometry (later clusters overwrite
+    // earlier ones on shared cells, exactly like the map it replaces).
+    for (i, rc) in routed.iter().enumerate() {
+        if i == exclude || rip_counts.get(&rc.cluster.id().0).copied().unwrap_or(0) >= 3 {
+            continue;
+        }
+        for c in rc.net_cells() {
+            if let Some(ci) = idx(c) {
+                if s.valve_at[ci] != epoch {
+                    s.owner[ci] = i as u32;
+                    s.owner_at[ci] = epoch;
+                }
+            }
+        }
+        if let Some((esc, _)) = &rc.escape {
+            for &c in esc.cells() {
+                if let Some(ci) = idx(c) {
+                    if s.valve_at[ci] != epoch {
+                        s.owner[ci] = i as u32;
+                        s.owner_at[ci] = epoch;
+                    }
+                }
+            }
+        }
+    }
+
+    // BFS over free cells from the source.
+    let mut pocket: Vec<Point> = vec![source];
+    let mut frontier_owners: Vec<usize> = Vec::new();
+    let mut frontier_cells: Vec<(Point, usize)> = Vec::new();
+    s.queue.clear();
+    s.queue.push_back(source);
+    if let Some(ci) = idx(source) {
+        s.seen_at[ci] = epoch;
+    }
+    // Bound the flood to a local neighbourhood: blockage is local, and a
+    // full-chip flood on every failure would be wasteful.
+    let limit = 4096usize;
+    while let Some(p) = s.queue.pop_front() {
+        if pocket.len() > limit {
+            break;
+        }
+        for q in p.neighbors4() {
+            let Some(qi) = idx(q) else { continue };
+            if s.seen_at[qi] == epoch {
+                continue;
+            }
+            if obs.is_blocked(q) {
+                if s.owner_at[qi] == epoch {
+                    let o = s.owner[qi] as usize;
+                    if s.front_at[o] != epoch {
+                        s.front_at[o] = epoch;
+                        frontier_owners.push(o);
+                    }
+                    frontier_cells.push((q, o));
+                }
+                continue;
+            }
+            s.seen_at[qi] = epoch;
+            pocket.push(q);
+            s.queue.push_back(q);
+        }
+    }
+
+    let unconstrained: Vec<usize> = frontier_owners
+        .iter()
+        .copied()
+        .filter(|&i| !routed[i].cluster.is_length_matched())
+        .collect();
+    let picks = if !unconstrained.is_empty() {
+        unconstrained
+    } else {
+        frontier_owners
+    };
+    frontier_cells.sort_unstable_by_key(|&(p, o)| (p.y, p.x, o));
+    frontier_cells.dedup();
+    frontier_cells.truncate(32);
+    (picks, pocket.into_iter().collect(), frontier_cells)
+}
+
+/// Pre-rewrite reference implementation of [`blocking_clusters`],
+/// retained for the equivalence tests below — the same pattern as
+/// `AStar::route_reference`. Builds per-call `HashMap`/`HashSet` state;
+/// the flat kernel must agree with it on picks (as a set), pocket, and
+/// frontier cells.
+#[allow(dead_code)]
+fn blocking_clusters_reference(
+    obs: &ObsMap,
+    routed: &[RoutedCluster],
+    exclude: usize,
+    source: Point,
+    rip_counts: &HashMap<u32, u32>,
+) -> (Vec<usize>, HashSet<Point>, Vec<(Point, usize)>) {
     // Cells that can never be freed by a rip: every valve position.
     let valve_cells: HashSet<Point> = routed
         .iter()
@@ -789,5 +966,82 @@ mod tests {
             .find(|rc| rc.member_positions == vec![Point::new(11, 6)])
             .unwrap();
         assert!(pocket_valve.is_complete(), "pocket valve must escape");
+    }
+
+    /// The flat epoch-stamped kernel must agree with the retained
+    /// `HashMap`/`HashSet` reference on randomized routed layouts:
+    /// identical pick *sets* (both callers sort), identical pockets,
+    /// identical attributed frontier cells.
+    #[test]
+    fn flat_blocking_clusters_matches_reference() {
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move |m: usize| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize % m
+        };
+        for trial in 0..60 {
+            let (w, h) = (10 + next(12), 10 + next(12));
+            let grid = Grid::new(w as u32, h as u32).unwrap();
+            let mut obs = ObsMap::new(&grid);
+            for _ in 0..w * h / 6 {
+                obs.block(Point::new(next(w) as i32, next(h) as i32));
+            }
+            let n = 3 + next(6);
+            let mut routed: Vec<RoutedCluster> = Vec::new();
+            for id in 0..n as u32 {
+                let start = Point::new(next(w) as i32, next(h) as i32);
+                if next(3) == 0 {
+                    obs.block(start);
+                    routed.push(mk_singleton(id, start));
+                    continue;
+                }
+                // Random-walk net, occasionally revisiting cells.
+                let mut cells = vec![start];
+                let mut cur = start;
+                for _ in 0..3 + next(9) {
+                    let q = cur.neighbors4()[next(4)];
+                    if q.x < 0 || q.y < 0 || q.x >= w as i32 || q.y >= h as i32 {
+                        continue;
+                    }
+                    cells.push(q);
+                    cur = q;
+                }
+                obs.block_all(cells.iter().copied());
+                let path = GridPath::new(cells.clone()).unwrap();
+                let escape = (next(2) == 0).then(|| {
+                    let pin = *cells.last().unwrap();
+                    (GridPath::new(vec![pin]).unwrap(), pin)
+                });
+                routed.push(RoutedCluster {
+                    cluster: Cluster::new(
+                        ClusterId(id),
+                        vec![ValveId(id), ValveId(id + 100)],
+                        next(3) == 0,
+                    ),
+                    member_positions: vec![start, cur],
+                    kind: RoutedKind::Mst { paths: vec![path] },
+                    escape,
+                });
+            }
+            let mut rip_counts = HashMap::new();
+            for id in 0..n as u32 {
+                if next(4) == 0 {
+                    rip_counts.insert(id, 3);
+                }
+            }
+            let exclude = next(n);
+            let source = routed[exclude].member_positions[0];
+            let (mut picks_f, pocket_f, walls_f) =
+                blocking_clusters(&obs, &routed, exclude, source, &rip_counts);
+            let (mut picks_r, pocket_r, walls_r) =
+                blocking_clusters_reference(&obs, &routed, exclude, source, &rip_counts);
+            picks_f.sort_unstable();
+            picks_r.sort_unstable();
+            assert_eq!(picks_f, picks_r, "trial {trial}: picks diverged");
+            assert_eq!(pocket_f, pocket_r, "trial {trial}: pocket diverged");
+            assert_eq!(walls_f, walls_r, "trial {trial}: frontier diverged");
+        }
     }
 }

@@ -108,7 +108,8 @@ pub fn route_lm_clusters(
     // cluster + position vectors per materialization.
     let mut slots: Vec<Option<(Cluster, Vec<Point>)>> = clusters.into_iter().map(Some).collect();
     let mut failed_idx: Vec<usize> = Vec::new();
-    let mut retried: std::collections::HashSet<usize> = std::collections::HashSet::new();
+    // Per-slot "already retried with alternate topologies" flag.
+    let mut retried = vec![false; slots.len()];
     let mut routed: Vec<RoutedCluster> = Vec::new();
     loop {
         // Build the edge list and the request → net mapping.
@@ -167,8 +168,8 @@ pub fn route_lm_clusters(
             let cid = slot.0.id().0;
             let positions = &slot.1;
             let is_tree = matches!(net, LmNet::Tree { .. });
-            if is_tree && !retried.contains(&ci) && positions.len() <= 6 {
-                retried.insert(ci);
+            if is_tree && !retried[ci] && positions.len() <= 6 {
+                retried[ci] = true;
                 pacor_obs::counter_add("lm.reconstructed", 1);
                 pacor_obs::flight(|| pacor_obs::FlightEvent::LmReconstructed { cluster: cid });
                 let alts = candidates_with_alternates(

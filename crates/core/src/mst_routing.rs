@@ -13,7 +13,6 @@ use crate::{FlowConfig, RoutedCluster, RoutedKind};
 use pacor_grid::{GridPath, ObsMap, Point};
 use pacor_route::{parallel_map_with, AStar, AStarScratch, NegotiationMode};
 use pacor_valves::Cluster;
-use std::collections::HashSet;
 
 /// Routes one ordinary cluster: valves are connected in minimum-spanning-
 /// tree order, each new valve joining the already-routed net by
@@ -238,6 +237,16 @@ fn route_batch_speculative(
     let mut wave = clusters;
     let mut out = Vec::new();
     let mut scratch = AStarScratch::new();
+    // Per-wave dirty-cell set as an epoch-stamped flat grid: a cell is
+    // dirty this wave iff its stamp equals the wave epoch, so clearing
+    // between waves is a single increment. Out-of-bounds positions are
+    // never marked — they cannot collide with the (in-bounds) expanded
+    // cells the conflict check probes.
+    let mut dirty_at = vec![0u32; width * height];
+    let mut dirty_epoch = 0u32;
+    let cell_of = move |p: &Point| {
+        in_bounds(p).then(|| p.y as usize * width + p.x as usize)
+    };
     while !wave.is_empty() {
         // Phase 1 — speculate. Opaque items (an out-of-bounds valve
         // bypasses the flat kernel, leaving no expanded-cell record) are
@@ -266,18 +275,28 @@ fn route_batch_speculative(
         pacor_obs::counter_add("mst.speculative", specs.iter().flatten().count() as u64);
 
         // Phase 2 — commit in order.
-        let mut dirty: HashSet<Point> = HashSet::new();
+        dirty_epoch = dirty_epoch.wrapping_add(1);
+        if dirty_epoch == 0 {
+            // u32 wrap (unreachable in practice): old stamps would alias.
+            dirty_at.fill(0);
+            dirty_epoch = 1;
+        }
         let mut next_wave: Vec<(Cluster, Vec<Point>)> = Vec::new();
         for (spec, item) in specs.into_iter().zip(wave) {
-            let conflicted =
-                matches!(&spec, Some((_, exp)) if exp.iter().any(|c| dirty.contains(c)));
+            let conflicted = matches!(&spec, Some((_, exp)) if exp
+                .iter()
+                .any(|c| matches!(cell_of(c), Some(i) if dirty_at[i] == dirty_epoch)));
             let outcome: SpecResult = match (spec, conflicted) {
                 (Some((r, _)), false) => {
                     if let Ok(rc) = &r {
                         let mut cells = rc.net_cells();
                         cells.push(rc.member_positions[0]);
                         obs.block_all(cells.iter().copied());
-                        dirty.extend(cells);
+                        for c in &cells {
+                            if let Some(i) = cell_of(c) {
+                                dirty_at[i] = dirty_epoch;
+                            }
+                        }
                     }
                     r
                 }
@@ -291,7 +310,11 @@ fn route_batch_speculative(
                     if let Ok(rc) = &r {
                         let mut cells = rc.net_cells();
                         cells.push(rc.member_positions[0]);
-                        dirty.extend(cells);
+                        for c in &cells {
+                            if let Some(i) = cell_of(c) {
+                                dirty_at[i] = dirty_epoch;
+                            }
+                        }
                     }
                     r
                 }

@@ -4,7 +4,6 @@ use pacor_dme::SteinerTree;
 use pacor_flow::{EscapeSource, SourceKind};
 use pacor_grid::{GridLen, GridPath, Point};
 use pacor_valves::{Cluster, ValveId};
-use std::collections::HashMap;
 
 /// How a cluster's internal net was realized.
 #[derive(Debug, Clone)]
@@ -138,19 +137,17 @@ impl RoutedCluster {
         let esc = self.escape_length();
         match &self.kind {
             RoutedKind::LmTree { tree, edge_paths } => {
-                let index: HashMap<(usize, usize), usize> = tree
-                    .edge_indices()
-                    .into_iter()
-                    .enumerate()
-                    .map(|(i, e)| (e, i))
-                    .collect();
+                // Edges are (child, parent): the child node keys its edge.
+                let mut edge_of_child = vec![usize::MAX; tree.nodes().len()];
+                for (i, (child, _)) in tree.edge_indices().into_iter().enumerate() {
+                    edge_of_child[child] = i;
+                }
                 let mut out = Vec::with_capacity(tree.sink_count());
                 for sink in 0..tree.sink_count() {
                     let nodes = tree.full_path_nodes(sink);
                     let mut len = esc;
                     for w in nodes.windows(2) {
-                        let i = index[&(w[0], w[1])];
-                        len += edge_paths[i].len();
+                        len += edge_paths[edge_of_child[w[0]]].len();
                     }
                     out.push(len);
                 }

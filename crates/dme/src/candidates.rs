@@ -61,6 +61,7 @@ pub fn candidates(
     let topo = balanced_bipartition(sinks);
 
     let mut out: Vec<SteinerTree> = Vec::new();
+    let mut hashes: Vec<u64> = Vec::new();
     for policy in EmbedPolicy::ALL {
         if out.len() >= config.max_candidates {
             break;
@@ -72,18 +73,45 @@ pub fn candidates(
             builder = builder.with_obstacles(o);
         }
         let tree = builder.embed(&topo);
-        let duplicate = out.iter().any(|t| {
-            t.nodes().len() == tree.nodes().len()
-                && t.nodes()
-                    .iter()
-                    .zip(tree.nodes())
-                    .all(|(a, b)| a.point == b.point)
-        });
-        if !duplicate {
+        if !is_duplicate(&tree, &out, &mut hashes) {
             out.push(tree);
         }
     }
     out
+}
+
+/// 64-bit FNV-1a over a tree's node-embedding sequence. Candidates whose
+/// hashes differ cannot share an embedding, so [`is_duplicate`] falls
+/// back to the full point-by-point comparison only on a hash match —
+/// replacing the all-pairs O(pool · nodes) scan per new candidate.
+fn embedding_hash(tree: &SteinerTree) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for n in tree.nodes() {
+        for v in [n.point.x as u64, n.point.y as u64] {
+            h ^= v;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h ^ tree.nodes().len() as u64
+}
+
+/// Appends `tree`'s hash to `hashes` and reports whether the pool already
+/// holds a tree with the identical node embedding (first occurrence
+/// wins, exactly like the pre-rewrite pairwise scan).
+fn is_duplicate(tree: &SteinerTree, out: &[SteinerTree], hashes: &mut Vec<u64>) -> bool {
+    let h = embedding_hash(tree);
+    let duplicate = hashes.iter().zip(out).any(|(&hh, t)| {
+        hh == h
+            && t.nodes().len() == tree.nodes().len()
+            && t.nodes()
+                .iter()
+                .zip(tree.nodes())
+                .all(|(a, b)| a.point == b.point)
+    });
+    if !duplicate {
+        hashes.push(h);
+    }
+    duplicate
 }
 
 /// Like [`candidates`], additionally exploring *alternate connection
@@ -130,6 +158,7 @@ pub fn candidates_with_alternates(
     });
 
     let mut out: Vec<SteinerTree> = Vec::new();
+    let mut hashes: Vec<u64> = Vec::new();
     for topo in &topos {
         for policy in EmbedPolicy::ALL {
             if out.len() >= config.max_candidates {
@@ -142,14 +171,7 @@ pub fn candidates_with_alternates(
                 builder = builder.with_obstacles(o);
             }
             let tree = builder.embed(topo);
-            let duplicate = out.iter().any(|t| {
-                t.nodes().len() == tree.nodes().len()
-                    && t.nodes()
-                        .iter()
-                        .zip(tree.nodes())
-                        .all(|(a, b)| a.point == b.point)
-            });
-            if !duplicate {
+            if !is_duplicate(&tree, &out, &mut hashes) {
                 out.push(tree);
             }
         }

@@ -26,7 +26,6 @@
 use crate::{EdgeId, MinCostFlow};
 use pacor_grid::{GridPath, ObsMap, Point};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// What a source represents, per Section 5 of the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -105,6 +104,13 @@ pub struct EscapeNetwork {
     super_source: usize,
     super_sink: usize,
     n_sources: usize,
+    /// Grid width, for cell-index ↔ point conversion during extraction.
+    width: i32,
+    /// Total grid cells (`width * height`).
+    n_cells: usize,
+    /// The overflow cost: augmentations reaching this true path cost are
+    /// pure overflow (no grid arcs), so the solve bails out instead.
+    beta: i64,
     /// Per source: (exit cell, edge source-node → out(cell)).
     exit_edges: Vec<Vec<(Point, EdgeId)>>,
     /// Per source: overflow edge id.
@@ -130,16 +136,32 @@ impl EscapeNetwork {
         let (w, h) = (obs.width() as i32, obs.height() as i32);
         let n_cells = (w * h) as usize;
 
-        // Cells eligible for transit: in bounds, unblocked, and — for
-        // boundary cells — a candidate pin (constraint (8), Gb).
-        let pin_set: std::collections::HashSet<Point> = pins.iter().copied().collect();
-        let is_boundary = |p: Point| p.x == 0 || p.y == 0 || p.x == w - 1 || p.y == h - 1;
-        let transit_ok =
-            |p: Point| !obs.is_blocked(p) && (!is_boundary(p) || pin_set.contains(&p));
-
         // Node ids: in(cell) = 2*cell_idx, out(cell) = 2*cell_idx + 1,
         // then one node per source, then super source / sink.
         let cell_idx = |p: Point| (p.y * w + p.x) as usize;
+
+        // Cells eligible for transit: in bounds, unblocked, and — for
+        // boundary cells — a candidate pin (constraint (8), Gb).
+        // Precomputed as flat per-cell masks: the build queries each cell
+        // up to five times (own pass + four neighbors).
+        let mut pin_mask = vec![false; n_cells];
+        for &p in pins {
+            if p.x >= 0 && p.y >= 0 && p.x < w && p.y < h {
+                pin_mask[cell_idx(p)] = true;
+            }
+        }
+        let is_boundary = |p: Point| p.x == 0 || p.y == 0 || p.x == w - 1 || p.y == h - 1;
+        let mut transit = vec![false; n_cells];
+        for y in 0..h {
+            for x in 0..w {
+                let p = Point::new(x, y);
+                transit[cell_idx(p)] =
+                    !obs.is_blocked(p) && (!is_boundary(p) || pin_mask[cell_idx(p)]);
+            }
+        }
+        // In-bounds points only — callers bounds-check first.
+        let transit_ok = |p: Point| transit[cell_idx(p)];
+        let pin_set = |p: Point| pin_mask[cell_idx(p)];
         let n_sources = sources.len();
         let super_source = 2 * n_cells + n_sources;
         let super_sink = super_source + 1;
@@ -197,7 +219,7 @@ impl EscapeNetwork {
                 if c.x < 0 || c.y < 0 || c.x >= w || c.y >= h {
                     continue;
                 }
-                if pin_set.contains(&c) && !obs.is_blocked(c) {
+                if pin_set(c) && !obs.is_blocked(c) {
                     // The source already sits on a usable pin.
                     let e = mcf.add_edge(s_node, super_sink, 1, src.tap_cost(k) * tier);
                     directs.push((c, e));
@@ -230,6 +252,9 @@ impl EscapeNetwork {
             super_source,
             super_sink,
             n_sources,
+            width: w,
+            n_cells,
+            beta,
             exit_edges,
             overflow_edges,
             direct_pin_edges,
@@ -239,32 +264,45 @@ impl EscapeNetwork {
     }
 
     /// Solves the flow and extracts per-source escape paths.
+    ///
+    /// The flow solve bails out once the cheapest augmenting path costs
+    /// `β`: the only paths at that price are pure source → sink overflow
+    /// arcs (every real route is strictly cheaper by construction), and
+    /// SSP path costs never decrease, so each source left without flow
+    /// would have overflowed anyway — it is reported unrouted exactly as
+    /// if its overflow arc had been saturated.
     pub fn solve(mut self) -> EscapeOutcome {
         let want = self.n_sources as i64;
-        let result = self
-            .mcf
-            .solve(self.super_source, self.super_sink, want);
-        debug_assert_eq!(result.flow, want, "overflow arcs guarantee saturation");
+        let result =
+            self.mcf
+                .solve_until(self.super_source, self.super_sink, want, self.beta);
 
-        // Adjacency of saturated movement arcs, and the set of pins used.
-        let mut next_of: HashMap<Point, Point> = HashMap::new();
+        let w = self.width;
+        let idx = |p: Point| (p.y * w + p.x) as usize;
+        let point_of = |ci: u32| Point::new(ci as i32 % w, ci as i32 / w);
+
+        // Adjacency of saturated movement arcs, and the set of pins used,
+        // as flat per-cell arrays (`u32::MAX` = no outgoing flow).
+        let mut next_of = vec![u32::MAX; self.n_cells];
         for &(from, to, e) in &self.move_edges {
             if self.mcf.edge_flow(e) > 0 {
-                next_of.insert(from, to);
+                next_of[idx(from)] = idx(to) as u32;
             }
         }
-        let mut pin_at: HashMap<Point, bool> = HashMap::new();
+        let mut pin_at = vec![false; self.n_cells];
         for &(p, e) in &self.pin_edges {
             if self.mcf.edge_flow(e) > 0 {
-                pin_at.insert(p, true);
+                pin_at[idx(p)] = true;
             }
         }
 
         let mut routes = Vec::with_capacity(self.n_sources);
         let mut total_length = 0u64;
         let mut routed = 0usize;
+        let mut overflowed = 0usize;
         for si in 0..self.n_sources {
             if self.mcf.edge_flow(self.overflow_edges[si]) > 0 {
+                overflowed += 1;
                 routes.push(None);
                 continue;
             }
@@ -278,33 +316,41 @@ impl EscapeNetwork {
                 continue;
             }
             // Walk the unit flow from the chosen exit cell to a pin.
-            let exit = self.exit_edges[si]
+            let Some(exit) = self.exit_edges[si]
                 .iter()
                 .find(|(_, e)| self.mcf.edge_flow(*e) > 0)
                 .map(|(c, _)| *c)
-                .expect("non-overflowed source has a saturated exit");
+            else {
+                // No flow at all: the source was cut off by the β
+                // bail-out. Unrouted, same as a saturated overflow arc.
+                routes.push(None);
+                continue;
+            };
             let mut cells = vec![exit];
             let mut cur = exit;
             let pin = loop {
-                if pin_at.get(&cur).copied().unwrap_or(false) && cells.len() > 1 {
+                if pin_at[idx(cur)] && cells.len() > 1 {
                     break cur;
                 }
-                match next_of.get(&cur) {
-                    Some(&nxt) => {
-                        cells.push(nxt);
-                        cur = nxt;
-                    }
-                    None => {
-                        // Arrived at a pin that is also the exit's first hop.
-                        break cur;
-                    }
+                let nxt = next_of[idx(cur)];
+                if nxt == u32::MAX {
+                    // Arrived at a pin that is also the exit's first hop.
+                    break cur;
                 }
+                let q = point_of(nxt);
+                cells.push(q);
+                cur = q;
             };
             let path = GridPath::new(cells).expect("flow walk is connected");
             total_length += path.len();
             routed += 1;
             routes.push(Some((path, pin)));
         }
+        debug_assert_eq!(
+            result.flow,
+            (routed + overflowed) as i64,
+            "every flow unit ends at a pin, a direct pin, or an overflow arc"
+        );
 
         EscapeOutcome {
             routes,

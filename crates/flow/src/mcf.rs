@@ -46,6 +46,16 @@ pub struct MinCostFlow {
     head: Vec<usize>,
     /// CSR arc ids, grouped by tail node: arc `a` leaves `edges[a ^ 1].to`.
     arcs: Vec<u32>,
+    /// CSR-position-ordered copies of the arc fields, so the Dijkstra
+    /// inner loop reads three contiguous arrays instead of gathering
+    /// `edges[arcs[i]]` — plus residual capacity in place of `cap`/`flow`
+    /// and the CSR position of each arc's twin for the augmentation walk.
+    /// Flows are written back into `edges` after every solve, keeping
+    /// [`MinCostFlow::edge_flow`] and CSR re-freezes exact.
+    csr_to: Vec<u32>,
+    csr_cost: Vec<i64>,
+    csr_res: Vec<i64>,
+    csr_twin: Vec<u32>,
     /// Arena length the CSR was frozen at (`usize::MAX` = never).
     frozen_edges: usize,
     /// Node count the CSR was frozen at.
@@ -61,6 +71,10 @@ impl MinCostFlow {
             has_negative: false,
             head: Vec::new(),
             arcs: Vec::new(),
+            csr_to: Vec::new(),
+            csr_cost: Vec::new(),
+            csr_res: Vec::new(),
+            csr_twin: Vec::new(),
             frozen_edges: usize::MAX,
             frozen_nodes: usize::MAX,
         }
@@ -128,19 +142,33 @@ impl MinCostFlow {
         let mut cursor = self.head.clone();
         self.arcs.clear();
         self.arcs.resize(self.edges.len(), 0);
-        for a in 0..self.edges.len() {
+        // Arc id → CSR position, for wiring each arc to its twin.
+        let mut pos_of = vec![0u32; self.edges.len()];
+        for (a, slot) in pos_of.iter_mut().enumerate() {
             let u = self.edges[a ^ 1].to;
             self.arcs[cursor[u]] = a as u32;
+            *slot = cursor[u] as u32;
             cursor[u] += 1;
+        }
+        let m = self.edges.len();
+        self.csr_to.clear();
+        self.csr_cost.clear();
+        self.csr_res.clear();
+        self.csr_twin.clear();
+        self.csr_to.reserve(m);
+        self.csr_cost.reserve(m);
+        self.csr_res.reserve(m);
+        self.csr_twin.reserve(m);
+        for pos in 0..m {
+            let a = self.arcs[pos] as usize;
+            let e = &self.edges[a];
+            self.csr_to.push(e.to as u32);
+            self.csr_cost.push(e.cost);
+            self.csr_res.push(e.cap - e.flow);
+            self.csr_twin.push(pos_of[a ^ 1]);
         }
         self.frozen_edges = self.edges.len();
         self.frozen_nodes = self.nodes;
-    }
-
-    /// Arc ids leaving `u` (valid after [`MinCostFlow::freeze_csr`]).
-    #[inline]
-    fn out_arcs(&self, u: usize) -> &[u32] {
-        &self.arcs[self.head[u]..self.head[u + 1]]
     }
 
     /// Sends up to `max_flow` units from `s` to `t` at minimum cost.
@@ -151,9 +179,26 @@ impl MinCostFlow {
     ///
     /// Panics when `s` or `t` is out of range.
     pub fn solve(&mut self, s: usize, t: usize, max_flow: i64) -> FlowResult {
+        self.solve_until(s, t, max_flow, i64::MAX)
+    }
+
+    /// [`MinCostFlow::solve`], but stops augmenting once the *true* cost
+    /// of the next shortest augmenting path reaches `bail`. SSP path
+    /// costs are non-decreasing, so every skipped augmentation would
+    /// also have cost ≥ `bail`; the flow routed before the bail-out is
+    /// still min-cost for its value. `bail = i64::MAX` never triggers.
+    pub fn solve_until(&mut self, s: usize, t: usize, max_flow: i64, bail: i64) -> FlowResult {
         assert!(s < self.nodes && t < self.nodes, "terminal out of range");
         self.freeze_csr();
         let n = self.nodes;
+        // Offset-form Johnson potentials: after each augmentation the
+        // textbook update is `potential[v] += dist[v].min(dt)` for all v.
+        // Potentials only ever appear in differences, so the uniform
+        // `+dt` part cancels and we store `potential[v] - Σdt` instead —
+        // touched nodes get `+= dist[v].min(dt) - dt`, untouched nodes
+        // (`dist[v] = MAX`, i.e. `+= dt` in textbook form) stay put. That
+        // turns two O(n) sweeps per augmentation (reset + update) into
+        // O(touched) work.
         let mut potential = vec![0i64; n];
 
         if self.has_negative {
@@ -166,10 +211,10 @@ impl MinCostFlow {
                     if dist[u] == i64::MAX {
                         continue;
                     }
-                    for &eid in self.out_arcs(u) {
-                        let e = &self.edges[eid as usize];
-                        if e.cap - e.flow > 0 && dist[u] + e.cost < dist[e.to] {
-                            dist[e.to] = dist[u] + e.cost;
+                    for pos in self.head[u]..self.head[u + 1] {
+                        let to = self.csr_to[pos] as usize;
+                        if self.csr_res[pos] > 0 && dist[u] + self.csr_cost[pos] < dist[to] {
+                            dist[to] = dist[u] + self.csr_cost[pos];
                             changed = true;
                         }
                     }
@@ -188,9 +233,11 @@ impl MinCostFlow {
         let mut total_flow = 0i64;
         let mut total_cost = 0i64;
 
-        // Dijkstra state, allocated once and reset per augmentation.
+        // Dijkstra state, allocated once; only the nodes touched by an
+        // augmentation are reset before the next one.
         let mut dist = vec![i64::MAX; n];
-        let mut prev_edge = vec![u32::MAX; n];
+        let mut prev_pos = vec![u32::MAX; n];
+        let mut touched: Vec<u32> = Vec::new();
         let mut heap: BinaryHeap<Reverse<(i64, usize)>> = BinaryHeap::new();
 
         while total_flow < max_flow {
@@ -198,10 +245,14 @@ impl MinCostFlow {
             // settled: unsettled nodes have true distance ≥ dist[t], so
             // clamping their potential update to dist[t] preserves
             // non-negative reduced costs (standard SSP early exit).
-            dist.fill(i64::MAX);
-            prev_edge.fill(u32::MAX);
+            for &v in &touched {
+                dist[v as usize] = i64::MAX;
+                prev_pos[v as usize] = u32::MAX;
+            }
+            touched.clear();
             heap.clear();
             dist[s] = 0;
+            touched.push(s as u32);
             heap.push(Reverse((0i64, s)));
             let mut settled_t = false;
             while let Some(Reverse((d, u))) = heap.pop() {
@@ -212,20 +263,24 @@ impl MinCostFlow {
                     settled_t = true;
                     break;
                 }
-                for &eid in self.out_arcs(u) {
-                    let e = &self.edges[eid as usize];
-                    if e.cap - e.flow <= 0 {
+                let pu = potential[u];
+                for pos in self.head[u]..self.head[u + 1] {
+                    if self.csr_res[pos] <= 0 {
                         continue;
                     }
-                    let nd = d + e.cost + potential[u] - potential[e.to];
+                    let to = self.csr_to[pos] as usize;
+                    let nd = d + self.csr_cost[pos] + pu - potential[to];
                     debug_assert!(
-                        e.cost + potential[u] - potential[e.to] >= 0,
+                        self.csr_cost[pos] + pu - potential[to] >= 0,
                         "negative reduced cost"
                     );
-                    if nd < dist[e.to] {
-                        dist[e.to] = nd;
-                        prev_edge[e.to] = eid;
-                        heap.push(Reverse((nd, e.to)));
+                    if nd < dist[to] {
+                        if dist[to] == i64::MAX {
+                            touched.push(to as u32);
+                        }
+                        dist[to] = nd;
+                        prev_pos[to] = pos as u32;
+                        heap.push(Reverse((nd, to)));
                     }
                 }
             }
@@ -233,28 +288,46 @@ impl MinCostFlow {
                 break; // t unreachable: maximal flow attained
             }
             let dt = dist[t];
-            for v in 0..n {
-                potential[v] += dist[v].min(dt);
+            // True path cost = dist[t] + potential[t] - potential[s]
+            // (telescoping reduced costs); the Σdt offset cancels in the
+            // difference, so offset-form potentials give the exact value.
+            if bail != i64::MAX
+                && (dt as i128) + (potential[t] as i128) - (potential[s] as i128)
+                    >= bail as i128
+            {
+                break;
+            }
+            for &v in &touched {
+                let d = dist[v as usize];
+                if d < dt {
+                    potential[v as usize] += d - dt;
+                }
             }
             // Bottleneck along the augmenting path.
             let mut push = max_flow - total_flow;
             let mut v = t;
             while v != s {
-                let eid = prev_edge[v] as usize;
-                let e = &self.edges[eid];
-                push = push.min(e.cap - e.flow);
-                v = self.edges[eid ^ 1].to;
+                let pos = prev_pos[v] as usize;
+                push = push.min(self.csr_res[pos]);
+                v = self.csr_to[self.csr_twin[pos] as usize] as usize;
             }
             // Apply.
             let mut v = t;
             while v != s {
-                let eid = prev_edge[v] as usize;
-                self.edges[eid].flow += push;
-                self.edges[eid ^ 1].flow -= push;
-                total_cost += push * self.edges[eid].cost;
-                v = self.edges[eid ^ 1].to;
+                let pos = prev_pos[v] as usize;
+                self.csr_res[pos] -= push;
+                self.csr_res[self.csr_twin[pos] as usize] += push;
+                total_cost += push * self.csr_cost[pos];
+                v = self.csr_to[self.csr_twin[pos] as usize] as usize;
             }
             total_flow += push;
+        }
+
+        // Publish the residuals back to the arena so `edge_flow` and the
+        // next CSR freeze observe the flow this solve routed.
+        for pos in 0..self.arcs.len() {
+            let a = self.arcs[pos] as usize;
+            self.edges[a].flow = self.edges[a].cap - self.csr_res[pos];
         }
 
         FlowResult {

@@ -126,6 +126,64 @@ impl Components {
 /// # Ok::<(), pacor_grid::GridError>(())
 /// ```
 pub fn corridor_capacity(obs: &ObsMap, a: Point, b: Point, limit: usize) -> usize {
+    let (w, h) = (obs.width() as i32, obs.height() as i32);
+    let in_bounds = |p: Point| p.x >= 0 && p.y >= 0 && p.x < w && p.y < h;
+    if !in_bounds(a) || !in_bounds(b) {
+        // Out-of-bounds endpoints have no flat cell index; the point-keyed
+        // reference handles them (they are blocked, so paths die there).
+        return corridor_capacity_reference(obs, a, b, limit);
+    }
+    let idx = |p: Point| p.y as usize * w as usize + p.x as usize;
+    let point_of = |i: u32| Point::new(i as i32 % w, i as i32 / w);
+    let mut scratch = obs.clone();
+    // BFS predecessor per cell (`u32::MAX` = unvisited), reset per wave.
+    let mut prev = vec![u32::MAX; w as usize * h as usize];
+    let mut queue = VecDeque::new();
+    let mut count = 0usize;
+    while count < limit {
+        // BFS shortest path with endpoint exemption.
+        prev.fill(u32::MAX);
+        queue.clear();
+        queue.push_back(a);
+        prev[idx(a)] = idx(a) as u32;
+        let mut found = false;
+        while let Some(p) = queue.pop_front() {
+            if p == b {
+                found = true;
+                break;
+            }
+            for n in p.neighbors4() {
+                if !in_bounds(n) || prev[idx(n)] != u32::MAX {
+                    continue;
+                }
+                if scratch.is_blocked(n) && n != b {
+                    continue;
+                }
+                prev[idx(n)] = idx(p) as u32;
+                queue.push_back(n);
+            }
+        }
+        if !found {
+            break;
+        }
+        // Carve the interior of the path out of the scratch map.
+        let mut cur = b;
+        while cur != a {
+            let p = point_of(prev[idx(cur)]);
+            if cur != b {
+                scratch.block(cur);
+            }
+            cur = p;
+        }
+        count += 1;
+    }
+    count
+}
+
+/// Pre-rewrite [`corridor_capacity`]: `HashMap`-keyed BFS predecessors.
+/// Kept as the reference for the equivalence test and as the fallback for
+/// out-of-bounds endpoints, which have no flat cell index.
+fn corridor_capacity_reference(obs: &ObsMap, a: Point, b: Point, limit: usize) -> usize {
     let mut scratch = obs.clone();
     let mut count = 0usize;
     while count < limit {
@@ -266,5 +324,58 @@ mod tests {
             corridor_capacity(&obs, Point::new(0, 4), Point::new(8, 4), 2),
             2
         );
+    }
+
+    #[test]
+    fn corridor_capacity_oob_endpoints_use_reference_semantics() {
+        let obs = ObsMap::new(&Grid::new(5, 5).unwrap());
+        // Endpoints are exempt from blockage, and out-of-bounds cells are
+        // merely "blocked": a start hugging the boundary still reaches in.
+        assert_eq!(
+            corridor_capacity(&obs, Point::new(-1, 2), Point::new(4, 2), 4),
+            1
+        );
+        // An out-of-bounds target with no in-bounds neighbour is never
+        // reached.
+        assert_eq!(
+            corridor_capacity(&obs, Point::new(0, 2), Point::new(7, 2), 4),
+            0
+        );
+    }
+
+    /// The flat-`Vec` BFS must carve the same shortest paths as the
+    /// `HashMap`-keyed reference: capacities feed back through the carved
+    /// scratch map, so equal counts across random instances pin the whole
+    /// path sequence, not just the first wave.
+    #[test]
+    fn corridor_capacity_matches_reference() {
+        let mut state = 0x0c0441d02u64;
+        let mut next = |m: u64| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) % m
+        };
+        for trial in 0..200 {
+            let w = 4 + next(12) as u32;
+            let h = 4 + next(12) as u32;
+            let mut g = Grid::new(w, h).unwrap();
+            let n_obs = next((w * h / 3 + 1) as u64);
+            for _ in 0..n_obs {
+                g.set_obstacle(Point::new(
+                    next(w as u64) as i32,
+                    next(h as u64) as i32,
+                ));
+            }
+            let obs = ObsMap::new(&g);
+            let a = Point::new(next(w as u64) as i32, next(h as u64) as i32);
+            let b = Point::new(next(w as u64) as i32, next(h as u64) as i32);
+            let limit = next(6) as usize;
+            assert_eq!(
+                corridor_capacity(&obs, a, b, limit),
+                corridor_capacity_reference(&obs, a, b, limit),
+                "trial {trial}: {w}x{h} a={a} b={b} limit={limit}"
+            );
+        }
     }
 }

@@ -9,6 +9,10 @@
 
 use crate::{Grid, Point};
 
+/// Journal entry for a cell whose transient block was removed again via
+/// [`ObsMap::unblock`] — skipped during rollback.
+const TOMBSTONE: usize = usize::MAX;
+
 /// A boolean obstacle layer over a [`Grid`], with undo support.
 ///
 /// Permanent obstacles from the grid are folded in at construction time;
@@ -34,6 +38,11 @@ pub struct ObsMap {
     height: u32,
     blocked: Vec<bool>,
     journal: Vec<usize>,
+    /// Per cell: its live position in `journal`, or [`TOMBSTONE`] when the
+    /// cell has no transient block. Makes [`ObsMap::unblock`] O(1) — the
+    /// escape stage rips thousands of cells per round, and a linear
+    /// journal scan per cell made that quadratic.
+    slot: Vec<usize>,
 }
 
 /// Opaque checkpoint token for [`ObsMap::rollback`].
@@ -44,14 +53,16 @@ impl ObsMap {
     /// Builds the map from a grid, copying its permanent obstacles and
     /// occupied cells as blocked.
     pub fn new(grid: &Grid) -> Self {
-        let blocked = (0..grid.len())
+        let blocked: Vec<bool> = (0..grid.len())
             .map(|i| !grid.is_routable(grid.point_of(i)))
             .collect();
+        let slot = vec![TOMBSTONE; blocked.len()];
         Self {
             width: grid.width(),
             height: grid.height(),
             blocked,
             journal: Vec::new(),
+            slot,
         }
     }
 
@@ -91,6 +102,7 @@ impl ObsMap {
         if let Some(i) = self.index_of(p) {
             if !self.blocked[i] {
                 self.blocked[i] = true;
+                self.slot[i] = self.journal.len();
                 self.journal.push(i);
             }
         }
@@ -107,13 +119,15 @@ impl ObsMap {
     /// Permanent obstacles inherited from the grid cannot be unblocked —
     /// only cells blocked through [`ObsMap::block`] after construction.
     ///
-    /// Any journal entry for `p` is purged, so outstanding checkpoints
-    /// remain valid; do not interleave with a checkpoint you still intend
-    /// to roll back *past this cell* (the rollback will simply skip it).
+    /// The cell's journal entry is tombstoned in place (O(1)), so
+    /// outstanding checkpoints stay valid: later entries keep their
+    /// positions, and a rollback simply skips the tombstone.
     pub fn unblock(&mut self, p: Point) {
         if let Some(i) = self.index_of(p) {
-            if let Some(pos) = self.journal.iter().position(|&j| j == i) {
-                self.journal.remove(pos);
+            let pos = self.slot[i];
+            if pos != TOMBSTONE {
+                self.journal[pos] = TOMBSTONE;
+                self.slot[i] = TOMBSTONE;
                 self.blocked[i] = false;
             }
         }
@@ -146,7 +160,10 @@ impl ObsMap {
         );
         while self.journal.len() > cp.0 {
             let i = self.journal.pop().expect("journal nonempty");
-            self.blocked[i] = false;
+            if i != TOMBSTONE {
+                self.blocked[i] = false;
+                self.slot[i] = TOMBSTONE;
+            }
         }
     }
 
@@ -261,9 +278,25 @@ mod tests {
         obs.block(Point::new(1, 1));
         let cp = obs.checkpoint(); // journal length 1
         obs.block(Point::new(2, 2));
-        obs.unblock(Point::new(1, 1)); // purge pre-checkpoint entry
-        obs.rollback(cp); // must not panic; rolls back as far as possible
+        obs.unblock(Point::new(1, 1)); // tombstone the pre-checkpoint entry
+        obs.rollback(cp); // must not panic
         assert!(!obs.is_blocked(Point::new(1, 1)));
+        // Post-checkpoint entries keep their journal positions across the
+        // tombstoning, so the rollback still reaches them.
+        assert!(!obs.is_blocked(Point::new(2, 2)));
+    }
+
+    #[test]
+    fn reblock_after_unblock_rolls_back() {
+        let mut obs = ObsMap::new(&Grid::new(6, 6).unwrap());
+        let cp = obs.checkpoint();
+        obs.block(Point::new(3, 3));
+        obs.unblock(Point::new(3, 3));
+        obs.block(Point::new(3, 3)); // fresh journal entry, new position
+        assert!(obs.is_blocked(Point::new(3, 3)));
+        obs.rollback(cp);
+        assert!(!obs.is_blocked(Point::new(3, 3)));
+        assert_eq!(obs.blocked_count(), 0);
     }
 
     #[test]
