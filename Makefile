@@ -2,15 +2,16 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test clippy bench tables obs-smoke bench-flow bench-smoke negotiate-smoke bench-check golden profile
+.PHONY: verify build test clippy bench tables obs-smoke stream-smoke bench-flow bench-smoke negotiate-smoke bench-check golden profile
 
 # The acceptance gate: release build, full test suite, zero-warning
 # lints, the golden end-to-end snapshots (all chips, release mode), a
-# smoke-run of the observability exports, a smoke-run of the
-# end-to-end flow benchmark harness, a serial-vs-parallel negotiation
-# equivalence check, and a determinism check of the smallest benchmark
-# chip against the committed BENCH_flow.json baseline.
-verify: build test clippy golden obs-smoke bench-smoke negotiate-smoke bench-check
+# smoke-run of the observability exports, a smoke-run of the streaming
+# telemetry, a smoke-run of the end-to-end flow benchmark harness, a
+# serial-vs-parallel negotiation equivalence check, and a determinism
+# check of the smallest benchmark chip against the committed
+# BENCH_flow.json baseline.
+verify: build test clippy golden obs-smoke stream-smoke bench-smoke negotiate-smoke bench-check
 
 build:
 	$(CARGO) build --release --workspace
@@ -33,8 +34,11 @@ bench-flow:
 # compare every deterministic field (rounds, ripups, lengths,
 # completion, speculation counters) against the committed
 # BENCH_flow.json baseline. Wall-clock fields are machine-local and
-# ignored. Re-baseline with `make bench-flow` after an intentional
-# routing change.
+# ignored — except the per-stage budget rule: a fresh stage_ms more
+# than 25% AND more than 25 ms over its committed baseline fails (the
+# absolute floor keeps sub-millisecond stages from flaking on
+# scheduler jitter). Re-baseline with `make bench-flow` after an
+# intentional routing or performance change.
 bench-check:
 	$(CARGO) run --release -p pacor-bench --bin bench_flow -- --chip B1-dense24 --repeat 1 --out target/bench_check.json
 	python3 -c "\
@@ -48,7 +52,10 @@ bench-check:
 	assert len(cur['entries']) == len(baseline), (len(cur['entries']), len(baseline)); \
 	diffs = [(k, f, baseline[key(e)][f], e[f]) for e in cur['entries'] for k in [key(e)] for f in fields if baseline[k][f] != e[f]]; \
 	assert not diffs, 'bench-check drift vs BENCH_flow.json: %r' % diffs; \
-	print('bench-check:', len(cur['entries']), 'entries match the baseline on', len(fields), 'deterministic fields')"
+	stages = ('clustering', 'lm_routing', 'mst_routing', 'escape', 'detour'); \
+	slow = [(k, s, baseline[k]['stage_ms'][s], e['stage_ms'][s]) for e in cur['entries'] for k in [key(e)] for s in stages if e['stage_ms'][s] > baseline[k]['stage_ms'][s] * 1.25 and e['stage_ms'][s] - baseline[k]['stage_ms'][s] > 25.0]; \
+	assert not slow, 'bench-check stage budget blown (>25%% and >25ms over baseline): %r' % slow; \
+	print('bench-check:', len(cur['entries']), 'entries match the baseline on', len(fields), 'deterministic fields and', len(stages), 'stage budgets')"
 
 # Cheap harness exercise for CI: one tiny chip (2 policies x 3
 # negotiation configs = 6 entries), result discarded.
@@ -98,3 +105,26 @@ obs-smoke:
 		--trace-out target/obs_smoke_trace.json \
 		--metrics-out target/obs_smoke_metrics.json S1
 	python3 -c "import json; json.load(open('target/obs_smoke_trace.json')); json.load(open('target/obs_smoke_metrics.json')); print('obs-smoke: both exports are valid JSON')"
+
+# Route one small design with the telemetry stream (and metrics, for
+# cross-checking) enabled: every line must parse as a versioned event,
+# the envelope must be flow_started ... flow_finished with a seq chain
+# and a correct terminal event count, every stage must exit, and the
+# per-round events must match the run's negotiate.rounds counter.
+stream-smoke:
+	$(CARGO) run --release --bin pacor-cli -- route --quiet \
+		--stream-out target/stream_smoke.jsonl \
+		--metrics-out target/stream_smoke_metrics.json S2
+	python3 -c "\
+	import json; \
+	events = [json.loads(l) for l in open('target/stream_smoke.jsonl') if l.strip()]; \
+	assert all(e['schema'] == 'pacor-telemetry-v1' for e in events), 'unversioned event'; \
+	assert [e['seq'] for e in events] == list(range(len(events))), 'seq chain broken'; \
+	assert events[0]['kind'] == 'flow_started' and events[-1]['kind'] == 'flow_finished', [e['kind'] for e in events]; \
+	assert events[-1]['events'] == len(events) - 1, (events[-1]['events'], len(events)); \
+	exited = [e['stage'] for e in events if e['kind'] == 'stage_exited']; \
+	assert exited == ['clustering', 'lm_routing', 'mst_routing', 'escape', 'detour'], exited; \
+	rounds = sum(e['kind'] == 'round_progress' for e in events); \
+	m = json.load(open('target/stream_smoke_metrics.json')); \
+	assert rounds == m['counters']['negotiate.rounds'], (rounds, m['counters']['negotiate.rounds']); \
+	print('stream-smoke:', len(events), 'events,', rounds, 'rounds, all valid pacor-telemetry-v1')"

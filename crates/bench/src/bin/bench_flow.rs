@@ -2,7 +2,7 @@
 //! policies and both negotiation modes, writing `BENCH_flow.json`.
 //!
 //! ```text
-//! bench_flow [--out FILE] [--repeat N] [--smoke] [--chip NAME]
+//! bench_flow [--out FILE] [--repeat N] [--smoke] [--chip NAME] [--events]
 //! ```
 //!
 //! Runs the full flow (clustering → LM routing → MST routing → escape →
@@ -21,17 +21,25 @@
 //! chip (for `make bench-check`-style baseline comparisons). Default
 //! output path: `BENCH_flow.json`; the file is written atomically
 //! (temp + rename).
+//!
+//! `--events` adds an opt-in per-entry sanity column on stderr: one
+//! extra (untimed) run per entry with the deterministic telemetry
+//! stream installed, reporting the event count and asserting the
+//! stream's `round_progress` events match the entry's
+//! `negotiate.rounds` counter. The JSON schema is unchanged.
 
 use pacor::route::{NegotiationMode, RipUpPolicy};
 use pacor::DesignParams;
 use pacor_bench::{
-    run_flow_bench, FlowBenchReport, BENCH_SEED, FLOW_BENCH_CHIPS, FLOW_SMOKE_CHIP,
+    collect_telemetry, run_flow_bench, FlowBenchReport, BENCH_SEED, FLOW_BENCH_CHIPS,
+    FLOW_SMOKE_CHIP,
 };
 
 fn main() {
     let mut out = String::from("BENCH_flow.json");
     let mut repeat = 3u32;
     let mut smoke = false;
+    let mut events = false;
     let mut chip_filter: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -45,6 +53,7 @@ fn main() {
                 _ => return usage("--repeat requires a positive integer"),
             },
             "--smoke" => smoke = true,
+            "--events" => events = true,
             "--chip" => match args.next() {
                 Some(v) => chip_filter = Some(v),
                 None => return usage("--chip requires a value"),
@@ -82,9 +91,27 @@ fn main() {
                 // session (carried in the report), so entries cannot
                 // bleed.
                 let entry = run_flow_bench(chip, policy, mode, threads, BENCH_SEED, repeat);
+                // Opt-in telemetry sanity: one extra untimed run with
+                // the deterministic stream installed; its round events
+                // must agree with the counters the timed runs report.
+                let events_col = if events {
+                    let lines = collect_telemetry(chip, policy, mode, threads, BENCH_SEED);
+                    let round_events = lines
+                        .iter()
+                        .filter(|l| l.contains("\"kind\":\"round_progress\""))
+                        .count() as u64;
+                    assert_eq!(
+                        round_events, entry.rounds,
+                        "{} {} {} t={}: round_progress events diverge from negotiate.rounds",
+                        entry.chip, entry.policy, entry.mode, entry.threads
+                    );
+                    format!("  events {:>5}", lines.len())
+                } else {
+                    String::new()
+                };
                 let s = &entry.stage_ms;
                 eprintln!(
-                    "{:<12} {:<12} {:<9} t={} {:>9.1} ms  neg {:>8.1} ms  stages clu {:>6.1} lm {:>7.1} mst {:>6.1} esc {:>6.1} det {:>6.1}  rounds {:>4}  ripups {:>5}  spec {:>5}  complete {:>5.1}%",
+                    "{:<12} {:<12} {:<9} t={} {:>9.1} ms  neg {:>8.1} ms  stages clu {:>6.1} lm {:>7.1} mst {:>6.1} esc {:>6.1} det {:>6.1}  rounds {:>4}  ripups {:>5}  spec {:>5}  complete {:>5.1}%{}",
                     entry.chip,
                     entry.policy,
                     entry.mode,
@@ -99,7 +126,8 @@ fn main() {
                     entry.rounds,
                     entry.ripups,
                     entry.speculative,
-                    entry.completion_rate * 100.0
+                    entry.completion_rate * 100.0,
+                    events_col
                 );
                 report.entries.push(entry);
             }
@@ -116,7 +144,7 @@ fn main() {
 
 fn usage(err: &str) {
     eprintln!(
-        "bench_flow: {err}\nusage: bench_flow [--out FILE] [--repeat N] [--smoke] [--chip NAME]"
+        "bench_flow: {err}\nusage: bench_flow [--out FILE] [--repeat N] [--smoke] [--chip NAME] [--events]"
     );
     std::process::exit(2);
 }

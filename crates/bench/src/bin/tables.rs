@@ -202,23 +202,45 @@ fn stages(full: bool) {
     } else {
         BenchDesign::SYNTH.to_vec()
     };
-    for d in designs {
-        // The outer session captures the flow's spans (its nested
-        // session merges upward on finish).
-        let session = pacor::obs::Session::begin();
-        let r = run_variant(d, FlowVariant::Pacor, BENCH_SEED);
-        let s = StageMs::of(&session.finish());
+    let mut rows: Vec<(String, f64, StageMs)> = designs
+        .into_iter()
+        .map(|d| {
+            // The outer session captures the flow's spans (its nested
+            // session merges upward on finish).
+            let session = pacor::obs::Session::begin();
+            let r = run_variant(d, FlowVariant::Pacor, BENCH_SEED);
+            let s = StageMs::of(&session.finish());
+            (r.design.clone(), r.runtime.as_secs_f64() * 1e3, s)
+        })
+        .collect();
+    // Costliest design first, so the design worth optimizing leads.
+    let stage_total =
+        |s: &StageMs| s.clustering + s.lm_routing + s.mst_routing + s.escape + s.detour;
+    rows.sort_by(|a, b| stage_total(&b.2).total_cmp(&stage_total(&a.2)));
+    let mut wall_sum = 0.0;
+    let mut sums = StageMs::default();
+    for (design, wall, s) in &rows {
         println!(
             "{:<8} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1}",
-            r.design,
-            r.runtime.as_secs_f64() * 1e3,
-            s.clustering,
-            s.lm_routing,
-            s.mst_routing,
-            s.escape,
-            s.detour
+            design, wall, s.clustering, s.lm_routing, s.mst_routing, s.escape, s.detour
         );
+        wall_sum += wall;
+        sums.clustering += s.clustering;
+        sums.lm_routing += s.lm_routing;
+        sums.mst_routing += s.mst_routing;
+        sums.escape += s.escape;
+        sums.detour += s.detour;
     }
+    println!(
+        "{:<8} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1}",
+        "total",
+        wall_sum,
+        sums.clustering,
+        sums.lm_routing,
+        sums.mst_routing,
+        sums.escape,
+        sums.detour
+    );
     if !full {
         println!("(run with --full to include Chip1/Chip2)");
     }

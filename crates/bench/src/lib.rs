@@ -342,6 +342,43 @@ pub fn run_flow_bench(
     entry.expect("repeat >= 1")
 }
 
+/// Runs the flow once with a deterministic in-memory telemetry stream
+/// installed and returns the raw JSONL lines. This is the event stream
+/// the invariance tests byte-compare across thread counts and modes,
+/// and the one `bench_flow --events` sanity-checks against the entry's
+/// counters.
+///
+/// # Panics
+///
+/// Panics when the flow errors out — a harness bug, not an experiment
+/// outcome.
+pub fn collect_telemetry(
+    params: DesignParams,
+    policy: RipUpPolicy,
+    mode: NegotiationMode,
+    threads: usize,
+    seed: u64,
+) -> Vec<String> {
+    let problem = synthesize_params(params, seed);
+    let config = FlowConfig::default()
+        .with_ripup_policy(policy)
+        .with_negotiation_mode(mode)
+        .with_threads(threads);
+    let sink = pacor::obs::MemorySink::new();
+    let lines = sink.lines();
+    pacor::obs::telemetry_install(
+        pacor::obs::TelemetryConfig::deterministic(),
+        vec![Box::new(sink)],
+    );
+    let result = PacorFlow::new(config).run(&problem);
+    pacor::obs::telemetry_take()
+        .expect("telemetry installed")
+        .expect("a memory sink cannot fail");
+    result.expect("synthesized designs are valid");
+    let collected = lines.lock().expect("telemetry sink lock").clone();
+    collected
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

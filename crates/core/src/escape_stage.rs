@@ -87,6 +87,14 @@ pub fn escape_all(
                 None => failed.push(i),
             }
         }
+        pacor_obs::progress(|| pacor_obs::ProgressEvent::EscapeProgress {
+            phase: 1,
+            round: stats.rounds,
+            pending: sources.len() as u64,
+            failed: failed.len() as u64,
+            declustered: stats.declustered as u64,
+            ripped: stats.ripped as u64,
+        });
         if failed.is_empty() {
             return stats;
         }
@@ -163,6 +171,14 @@ pub fn escape_all(
                 None => failed.push(i),
             }
         }
+        pacor_obs::progress(|| pacor_obs::ProgressEvent::EscapeProgress {
+            phase: 2,
+            round: stats.rounds,
+            pending: pending.len() as u64,
+            failed: failed.len() as u64,
+            declustered: stats.declustered as u64,
+            ripped: stats.ripped as u64,
+        });
         if failed.is_empty() {
             continue;
         }
@@ -406,6 +422,14 @@ pub fn escape_all(
                 }
             }
         }
+        pacor_obs::progress(|| pacor_obs::ProgressEvent::EscapeProgress {
+            phase: 3,
+            round: stats.rounds,
+            pending: sources.len() as u64,
+            failed: failed_sources.len() as u64,
+            declustered: stats.declustered as u64,
+            ripped: stats.ripped as u64,
+        });
         if progress {
             continue; // discard this round's escapes; re-solve globally
         }

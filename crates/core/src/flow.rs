@@ -71,15 +71,29 @@ impl PacorFlow {
         let mut timings = crate::FlowMetrics::default();
         let grid = problem.grid()?;
         let mut obs = ObsMap::new(&grid);
+        pacor_obs::progress(|| pacor_obs::ProgressEvent::FlowStarted {
+            design: problem.name.clone(),
+            width: grid.width(),
+            height: grid.height(),
+            valves: problem.valve_count() as u64,
+            pins: problem.pins.len() as u64,
+            lm_clusters: problem.lm_clusters.len() as u64,
+            variant: self.config.variant.label().to_string(),
+            policy: self.config.ripup_policy.label().to_string(),
+            mode: self.config.negotiation_mode.label().to_string(),
+            threads: crate::effective_threads(self.config.thread_count) as u64,
+        });
 
         // ---- Stage 1: valve clustering -------------------------------
         // Length-matching clusters are pinned; remaining valves cluster
         // greedily by compatibility (broadcast addressing).
+        pacor_obs::telemetry_stage_enter("clustering");
         let stage = Instant::now();
         let span = pacor_obs::span("stage.clustering");
         let clusters = problem.valves.cluster_greedy(&problem.lm_clusters);
         drop(span);
         timings.clustering = stage.elapsed();
+        pacor_obs::telemetry_stage_exit("clustering", clusters.len() as u64);
         let positions_of = |c: &Cluster| {
             c.members()
                 .iter()
@@ -108,12 +122,15 @@ impl PacorFlow {
         // ---- Stage 2: length-matching cluster routing -----------------
         let lm_input: Vec<(Cluster, Vec<_>)> =
             lm.into_iter().map(|c| (positions_of(&c), c)).map(|(p, c)| (c, p)).collect();
+        let lm_count = lm_input.len() as u64;
+        pacor_obs::telemetry_stage_enter("lm_routing");
         let stage = Instant::now();
         let span = pacor_obs::span_with("stage.lm_routing", &[("clusters", lm_input.len() as u64)]);
         let lm_out = route_lm_clusters(&mut obs, lm_input, &self.config);
         drop(span);
         pacor_obs::counter_sample("astar.expansions");
         timings.lm_routing = stage.elapsed();
+        pacor_obs::telemetry_stage_exit("lm_routing", lm_count);
         timings.threads = crate::effective_threads(self.config.thread_count);
         timings.lm_candidate_tasks = lm_out.candidate_tasks;
         timings.lm_scoring_tasks = lm_out.scoring_tasks;
@@ -134,6 +151,8 @@ impl PacorFlow {
             let demoted = Cluster::new(c.id(), c.members().to_vec(), false);
             ordinary_input.push((demoted, p));
         }
+        let mst_count = ordinary_input.len() as u64;
+        pacor_obs::telemetry_stage_enter("mst_routing");
         let stage = Instant::now();
         let span =
             pacor_obs::span_with("stage.mst_routing", &[("clusters", ordinary_input.len() as u64)]);
@@ -146,21 +165,27 @@ impl PacorFlow {
         drop(span);
         pacor_obs::counter_sample("astar.expansions");
         timings.mst_routing = stage.elapsed();
+        pacor_obs::telemetry_stage_exit("mst_routing", mst_count);
 
         // ---- Stage 3.5: Detour-First variant --------------------------
         if self.config.variant == FlowVariant::DetourFirst {
+            pacor_obs::telemetry_stage_enter("detour");
             let stage = Instant::now();
             let span = pacor_obs::span("stage.detour");
+            let mut detoured = 0u64;
             for rc in routed.iter_mut() {
                 if rc.cluster.is_length_matched() {
                     detour_cluster(&mut obs, rc, problem.delta, &self.config);
+                    detoured += 1;
                 }
             }
             drop(span);
             timings.detour = stage.elapsed();
+            pacor_obs::telemetry_stage_exit("detour", detoured);
         }
 
         // ---- Stages 4–5: escape routing with rip-up/de-clustering -----
+        pacor_obs::telemetry_stage_enter("escape");
         let stage = Instant::now();
         let span = pacor_obs::span("stage.escape");
         let escape_stats = escape_all(
@@ -173,18 +198,23 @@ impl PacorFlow {
         drop(span);
         pacor_obs::counter_sample("astar.expansions");
         timings.escape = stage.elapsed();
+        pacor_obs::telemetry_stage_exit("escape", routed.len() as u64);
 
         // ---- Stage 6: final path detouring ----------------------------
         if self.config.variant != FlowVariant::DetourFirst {
+            pacor_obs::telemetry_stage_enter("detour");
             let stage = Instant::now();
             let span = pacor_obs::span("stage.detour");
+            let mut detoured = 0u64;
             for rc in routed.iter_mut() {
                 if rc.cluster.is_length_matched() && rc.is_complete() {
                     detour_cluster(&mut obs, rc, problem.delta, &self.config);
+                    detoured += 1;
                 }
             }
             drop(span);
             timings.detour = stage.elapsed();
+            pacor_obs::telemetry_stage_exit("detour", detoured);
         }
         pacor_obs::counter_sample("astar.expansions");
 
@@ -240,6 +270,16 @@ impl PacorFlow {
             escape_stats.declustered,
             escape_stats.ripped,
         );
+        if pacor_obs::telemetry_active() {
+            let complete = report.clusters.iter().filter(|c| c.complete).count() as u64;
+            pacor_obs::telemetry_flow_finished(
+                complete,
+                report.clusters.len() as u64 - complete,
+                report.matched_clusters as u64,
+                report.total_length,
+                (report.completion_rate() * 1000.0).round() as u64,
+            );
+        }
         Ok((report, routed))
     }
 

@@ -65,6 +65,16 @@ pub fn route_lm_clusters(
             pacor_obs::record("dme.candidates", cands.len() as u64);
             (i, cands)
         });
+    // Telemetry emits on the session thread only (the fan-out workers
+    // above record into private task frames), after the merge — so the
+    // event lands at the same commit point at any thread count.
+    if pacor_obs::telemetry_active() {
+        let candidates_total: u64 = tree_clusters.iter().map(|(_, c)| c.len() as u64).sum();
+        pacor_obs::progress(|| pacor_obs::ProgressEvent::DmeProgress {
+            clusters: candidate_tasks as u64,
+            candidates: candidates_total,
+        });
+    }
 
     // Phase 2: selection (Eqs. 2–4) or first-candidate. Either way the
     // picked tree is moved out of its candidate list, not cloned.

@@ -127,12 +127,33 @@ pub fn route_ordinary_clusters(
     config: &FlowConfig,
 ) -> Vec<RoutedCluster> {
     pacor_obs::counter_add("mst.clusters", clusters.len() as u64);
-    match config.negotiation_mode {
+    let batch = clusters.len() as u64;
+    let out = match config.negotiation_mode {
         NegotiationMode::Serial => route_batch_serial(obs, clusters, next_id),
         NegotiationMode::Parallel => {
             route_batch_speculative(obs, clusters, next_id, config.thread_count.max(1))
         }
+    };
+    // Telemetry aggregates only: the wave structure differs between
+    // modes (though the committed order does not), so per-wave events
+    // would break the stream's mode invariance.
+    if pacor_obs::telemetry_active() {
+        let edges: u64 = out
+            .iter()
+            .map(|rc| match &rc.kind {
+                RoutedKind::Mst { paths } => paths.len() as u64,
+                _ => 0,
+            })
+            .sum();
+        let committed = out.len() as u64;
+        pacor_obs::progress(|| pacor_obs::ProgressEvent::MstProgress {
+            clusters: batch,
+            committed,
+            splits: committed.saturating_sub(batch),
+            edges,
+        });
     }
+    out
 }
 
 /// Splits a failed cluster in half and appends both halves (with their

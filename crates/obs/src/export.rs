@@ -11,7 +11,7 @@ use std::path::{Path, PathBuf};
 /// Process id used for every trace event (the flow is one process).
 const PID: u32 = 1;
 
-fn push_json_string(out: &mut String, s: &str) {
+pub(crate) fn push_json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {

@@ -23,6 +23,11 @@
 //!   (per-net search outcomes, rip-up victims with reasons, congestion
 //!   snapshots) feeding the [`post_mortem_json`] diagnostic report and
 //!   the [`render_heatmap`] ASCII view; see the `recorder` module docs.
+//! * **Streaming telemetry** ([`telemetry_install`], [`progress`],
+//!   [`telemetry_take`]) — live, versioned (`pacor-telemetry-v1`)
+//!   JSONL progress events at stage and round boundaries, with an
+//!   optional watchdog (per-stage wall-clock budgets + heartbeat);
+//!   see the `progress` module docs.
 //!
 //! # Recording model
 //!
@@ -66,12 +71,19 @@
 mod export;
 mod frame;
 mod histogram;
+mod progress;
 mod recorder;
 mod report;
 
 pub use export::{chrome_trace, metrics_json, write_atomic};
 pub use frame::{Frame, TraceEvent};
 pub use histogram::Histogram;
+pub use progress::{
+    progress, telemetry_active, telemetry_begin_session, telemetry_flow_finished,
+    telemetry_install, telemetry_round, telemetry_stage_enter, telemetry_stage_exit,
+    telemetry_take, MemorySink, NullSink, ProgressEvent, RoundStats, StageBudgets, StreamWriter,
+    TelemetryConfig, TelemetrySink, TickerSink, WriterSink, TELEMETRY_SCHEMA,
+};
 pub use recorder::{
     flight, flight_active, flight_begin_session, flight_install, flight_snapshot,
     flight_snapshot_due, flight_take, CongestionSnapshot, FlightEvent, FlightLog, FrontierCell,

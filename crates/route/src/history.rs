@@ -92,6 +92,13 @@ impl HistoryCost {
         }
     }
 
+    /// Number of cells carrying nonzero accumulated history — the
+    /// cheap congestion-pressure signal the telemetry stream reports
+    /// per round. Deterministic: bumps happen in canonical net order.
+    pub fn pressure_cells(&self) -> u64 {
+        self.costs.iter().filter(|&&c| c > 0.0).count() as u64
+    }
+
     /// Resets every cell's history to zero.
     pub fn clear(&mut self) {
         self.costs.fill(0.0);

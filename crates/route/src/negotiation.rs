@@ -658,6 +658,7 @@ impl NegotiationRouter {
     pub fn route_all(&self, obs: &mut ObsMap, edges: &[RouteRequest]) -> NegotiationOutcome {
         let _span = pacor_obs::span_with("negotiate", &[("edges", edges.len() as u64)]);
         let fs = pacor_obs::flight_begin_session(edges.len() as u32);
+        let ts = pacor_obs::telemetry_begin_session();
         let mut scratch = AStarScratch::new();
         let mut exec = match self.mode {
             NegotiationMode::Serial => RoundExec::Serial,
@@ -667,9 +668,9 @@ impl NegotiationRouter {
             },
         };
         match self.ripup {
-            RipUpPolicy::Full => self.route_full(obs, edges, &mut scratch, &mut exec, fs),
+            RipUpPolicy::Full => self.route_full(obs, edges, &mut scratch, &mut exec, fs, ts),
             RipUpPolicy::Incremental => {
-                self.route_incremental(obs, edges, &mut scratch, &mut exec, fs)
+                self.route_incremental(obs, edges, &mut scratch, &mut exec, fs, ts)
             }
         }
     }
@@ -683,6 +684,7 @@ impl NegotiationRouter {
         scratch: &mut AStarScratch,
         exec: &mut RoundExec,
         fs: u32,
+        ts: u32,
     ) -> NegotiationOutcome {
         let mut history = HistoryCost::with_params(obs.width(), obs.height(), self.base, self.alpha);
         let outer_cp = obs.checkpoint();
@@ -729,6 +731,20 @@ impl NegotiationRouter {
             }
             if pacor_obs::flight_snapshot_due(iterations, done || iterations >= self.gamma) {
                 pacor_obs::flight_snapshot(congestion_snapshot(fs, iterations, obs, &history));
+            }
+            if pacor_obs::telemetry_active() {
+                let routed_now = paths.iter().flatten().count() as u64;
+                pacor_obs::telemetry_round(pacor_obs::RoundStats {
+                    session: ts,
+                    round: iterations,
+                    rounds_left: if done { 0 } else { self.gamma.saturating_sub(iterations) },
+                    attempted: order.len() as u64,
+                    routed: routed_now,
+                    failed: order.len() as u64 - routed_now,
+                    ripups,
+                    pressure: history.pressure_cells(),
+                    completion_milli: routed_now * 1000 / edges.len().max(1) as u64,
+                });
             }
 
             if done {
@@ -789,6 +805,7 @@ impl NegotiationRouter {
         scratch: &mut AStarScratch,
         exec: &mut RoundExec,
         fs: u32,
+        ts: u32,
     ) -> NegotiationOutcome {
         let (width, height) = (obs.width() as usize, obs.height() as usize);
         let mut history = HistoryCost::with_params(obs.width(), obs.height(), self.base, self.alpha);
@@ -876,6 +893,24 @@ impl NegotiationRouter {
                 failed.is_empty() || iterations >= self.gamma,
             ) {
                 pacor_obs::flight_snapshot(congestion_snapshot(fs, iterations, obs, &history));
+            }
+            if pacor_obs::telemetry_active() {
+                let routed_total = paths.iter().flatten().count() as u64;
+                pacor_obs::telemetry_round(pacor_obs::RoundStats {
+                    session: ts,
+                    round: iterations,
+                    rounds_left: if failed.is_empty() {
+                        0
+                    } else {
+                        self.gamma.saturating_sub(iterations)
+                    },
+                    attempted: pending.len() as u64,
+                    routed: routed_total,
+                    failed: failed.len() as u64,
+                    ripups,
+                    pressure: history.pressure_cells(),
+                    completion_milli: routed_total * 1000 / edges.len().max(1) as u64,
+                });
             }
 
             if failed.is_empty() {

@@ -7,8 +7,10 @@
 
 #![forbid(unsafe_code)]
 
-use serde::{de::DeserializeOwned, Serialize, Value};
+use serde::{de::DeserializeOwned, Serialize};
 use std::fmt;
+
+pub use serde::Value;
 
 /// A JSON (de)serialization error.
 #[derive(Debug, Clone)]

@@ -33,7 +33,20 @@
 //!   attempts its pending nets (default `serial`; `parallel` speculates
 //!   over the `--threads` workers and commits deterministically, landing
 //!   on the identical routed result).
-//! * `--quiet` — suppress the report JSON on stdout.
+//! * `--quiet` — suppress the report JSON on stdout (and the
+//!   `--progress` ticker).
+//! * `--stream-out <path|->` — stream live telemetry events as
+//!   `pacor-telemetry-v1` JSONL (one event per line). A path is
+//!   written atomically (temp file + rename on clean finish, so a
+//!   killed run never leaves a torn file); `-` streams to stderr
+//!   line-by-line.
+//! * `--progress` — human one-line round ticker on stderr
+//!   (auto-disabled by `--quiet`).
+//! * `--watchdog <bench.json>` — arm the stage watchdog: per-stage
+//!   wall-clock budgets derived from the committed `stage_ms`
+//!   baselines in a bench report (4x each stage's worst committed
+//!   time, floored at 50 ms), emitting structured `budget_exceeded`
+//!   events plus a 1 s heartbeat while a stage runs long.
 //!
 //! Unknown `--flags` are rejected with an error rather than silently
 //! treated as file names.
@@ -50,7 +63,7 @@ fn main() {
         Some("table2") => cmd_table2(&args[1..]),
         _ => {
             eprintln!(
-                "usage: pacor synth <design> [seed]\n       pacor route [--threads N] [--trace-out FILE] [--metrics-out FILE] [--report-out FILE] [--ripup-policy full|incremental] [--negotiation-mode serial|parallel] [--quiet] <problem.json|design>\n       pacor render [--threads N] <problem.json|design>\n       pacor table2 [--full] [--threads N]"
+                "usage: pacor synth <design> [seed]\n       pacor route [--threads N] [--trace-out FILE] [--metrics-out FILE] [--report-out FILE] [--stream-out FILE|-] [--progress] [--watchdog BENCH.json] [--ripup-policy full|incremental] [--negotiation-mode serial|parallel] [--quiet] <problem.json|design>\n       pacor render [--threads N] <problem.json|design>\n       pacor table2 [--full] [--threads N]"
             );
             2
         }
@@ -78,6 +91,9 @@ struct Options {
     trace_out: Option<String>,
     metrics_out: Option<String>,
     report_out: Option<String>,
+    stream_out: Option<String>,
+    progress: bool,
+    watchdog: Option<String>,
     ripup_policy: Option<RipUpPolicy>,
     negotiation_mode: Option<NegotiationMode>,
     quiet: bool,
@@ -120,6 +136,9 @@ fn parse_options(args: &[String], allowed: &[&str]) -> Result<Options, String> {
             "--trace-out" => opts.trace_out = Some(value()?),
             "--metrics-out" => opts.metrics_out = Some(value()?),
             "--report-out" => opts.report_out = Some(value()?),
+            "--stream-out" => opts.stream_out = Some(value()?),
+            "--progress" => opts.progress = true,
+            "--watchdog" => opts.watchdog = Some(value()?),
             "--ripup-policy" => {
                 let v = value()?;
                 opts.ripup_policy = Some(RipUpPolicy::parse(&v).ok_or_else(|| {
@@ -191,6 +210,43 @@ fn write_exports(opts: &Options, report: &pacor::obs::ObsReport) -> Result<(), S
     Ok(())
 }
 
+/// Derives the watchdog's per-stage wall-clock budgets from a
+/// committed bench report (`BENCH_flow.json`): four times each stage's
+/// worst committed `stage_ms`, floored at 50 ms so sub-millisecond
+/// stages never alarm on scheduler jitter.
+fn load_budgets(path: &str) -> Result<pacor::obs::StageBudgets, String> {
+    fn ms_of(v: &serde_json::Value) -> f64 {
+        match v {
+            serde_json::Value::Float(f) => *f,
+            serde_json::Value::Int(i) => *i as f64,
+            serde_json::Value::UInt(u) => *u as f64,
+            _ => 0.0,
+        }
+    }
+    let bad = |e: &dyn std::fmt::Display| format!("parsing {path}: {e}");
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let report: serde_json::Value = serde_json::from_str(&text).map_err(|e| bad(&e))?;
+    let serde_json::Value::Array(entries) = report.field("entries").map_err(|e| bad(&e))? else {
+        return Err(format!("parsing {path}: `entries` is not an array"));
+    };
+    const STAGES: [&str; 5] = ["clustering", "lm_routing", "mst_routing", "escape", "detour"];
+    let mut maxima = [0.0f64; 5];
+    for entry in entries {
+        let stage_ms = entry.field("stage_ms").map_err(|e| bad(&e))?;
+        for (slot, name) in maxima.iter_mut().zip(STAGES) {
+            *slot = slot.max(ms_of(stage_ms.field(name).map_err(|e| bad(&e))?));
+        }
+    }
+    let budget = |ms: f64| ((ms * 4.0).ceil() as u64).max(50);
+    Ok(pacor::obs::StageBudgets {
+        clustering: budget(maxima[0]),
+        lm_routing: budget(maxima[1]),
+        mst_routing: budget(maxima[2]),
+        escape: budget(maxima[3]),
+        detour: budget(maxima[4]),
+    })
+}
+
 fn cmd_route(args: &[String]) -> i32 {
     let opts = match parse_options(
         args,
@@ -199,6 +255,9 @@ fn cmd_route(args: &[String]) -> i32 {
             "--trace-out",
             "--metrics-out",
             "--report-out",
+            "--stream-out",
+            "--progress",
+            "--watchdog",
             "--ripup-policy",
             "--negotiation-mode",
             "--quiet",
@@ -232,9 +291,52 @@ fn cmd_route(args: &[String]) -> i32 {
     if opts.report_out.is_some() {
         pacor::obs::flight_install(config.recorder_config());
     }
+    // Streaming telemetry: a JSONL sink for `--stream-out`, a human
+    // ticker for `--progress` (unless `--quiet`), and watchdog budgets
+    // plus a heartbeat when `--watchdog` names a bench baseline.
+    let ticker = opts.progress && !opts.quiet;
+    if opts.stream_out.is_some() || ticker || opts.watchdog.is_some() {
+        let mut sinks: Vec<Box<dyn pacor::obs::TelemetrySink>> = Vec::new();
+        if let Some(path) = &opts.stream_out {
+            if path == "-" {
+                sinks.push(Box::new(pacor::obs::WriterSink::stderr()));
+            } else {
+                match pacor::obs::StreamWriter::create(path) {
+                    Ok(w) => sinks.push(Box::new(w)),
+                    Err(e) => {
+                        eprintln!("route: writing {path}: {e}");
+                        return 1;
+                    }
+                }
+            }
+        }
+        if ticker {
+            sinks.push(Box::new(pacor::obs::TickerSink));
+        }
+        let mut cfg = pacor::obs::TelemetryConfig::default();
+        if let Some(bench) = &opts.watchdog {
+            match load_budgets(bench) {
+                Ok(budgets) => {
+                    cfg.budgets = budgets;
+                    cfg.heartbeat_ms = 1000;
+                }
+                Err(e) => {
+                    eprintln!("route: {e}");
+                    return 1;
+                }
+            }
+        }
+        pacor::obs::telemetry_install(cfg, sinks);
+    }
     let result = PacorFlow::new(config).run(&problem);
+    let telemetry_result = pacor::obs::telemetry_take();
     let flight_log = pacor::obs::flight_take();
     let obs_report = session.map(pacor::obs::Session::finish);
+    if let Some(Err(e)) = telemetry_result {
+        let path = opts.stream_out.as_deref().unwrap_or("-");
+        eprintln!("route: writing {path}: {e}");
+        return 1;
+    }
     match result {
         Ok(report) => {
             if let Some(obs_report) = &obs_report {

@@ -313,12 +313,111 @@ fn report_out_names_unrouted_nets_on_a_failing_chip() {
 }
 
 #[test]
+fn stream_out_writes_versioned_jsonl() {
+    let dir = std::env::temp_dir().join("pacor_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("s1_stream.jsonl");
+    let out = pacor(&["route", "--quiet", "--stream-out", path.to_str().unwrap(), "S1"]);
+    assert!(out.status.success());
+    let text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() > 2, "stream must carry events: {text}");
+    for l in &lines {
+        serde_json::from_str::<serde::Value>(l).expect("every line parses");
+        assert!(l.contains("\"schema\":\"pacor-telemetry-v1\""), "{l}");
+    }
+    let first = lines.first().unwrap();
+    assert!(first.contains("\"kind\":\"flow_started\""), "{first}");
+    assert!(first.contains("\"design\":\"S1\""));
+    let last = lines.last().unwrap();
+    assert!(last.contains("\"kind\":\"flow_finished\""), "{last}");
+    assert!(
+        last.contains(&format!("\"events\":{}", lines.len() - 1)),
+        "terminal event must count the stream: {last}"
+    );
+    // The temp file must be gone after a clean finish (atomic rename).
+    assert!(
+        !dir.join("s1_stream.jsonl.tmp").exists(),
+        "clean finish must leave no temp file"
+    );
+}
+
+#[test]
+fn stream_out_dash_streams_to_stderr() {
+    let out = pacor(&["route", "--quiet", "--stream-out", "-", "S1"]);
+    assert!(out.status.success());
+    assert!(out.stdout.is_empty(), "--quiet must keep stdout empty");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("\"kind\":\"flow_started\""), "{err}");
+    assert!(err.contains("\"kind\":\"flow_finished\""), "{err}");
+}
+
+#[test]
+fn quiet_suppresses_progress_ticker() {
+    // `--progress` prints a human ticker on stderr; `--quiet` must
+    // silence it entirely — stdout AND stderr stay empty.
+    let loud = pacor(&["route", "--progress", "S1"]);
+    assert!(loud.status.success());
+    let loud_err = String::from_utf8_lossy(&loud.stderr);
+    assert!(
+        loud_err.contains("[pacor]"),
+        "--progress must tick on stderr: {loud_err}"
+    );
+    let quiet = pacor(&["route", "--progress", "--quiet", "S1"]);
+    assert!(quiet.status.success());
+    assert!(quiet.stdout.is_empty(), "--quiet must print no report");
+    assert!(
+        quiet.stderr.is_empty(),
+        "--quiet must silence the ticker and any heartbeat: {}",
+        String::from_utf8_lossy(&quiet.stderr)
+    );
+}
+
+#[test]
+fn watchdog_derives_budgets_from_bench_baselines() {
+    // Point the watchdog at the committed bench report: the run must
+    // succeed and (being far under 4x budgets) emit no alarms.
+    let dir = std::env::temp_dir().join("pacor_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("s1_watchdog.jsonl");
+    let bench = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_flow.json");
+    let out = pacor(&[
+        "route",
+        "--quiet",
+        "--watchdog",
+        bench,
+        "--stream-out",
+        path.to_str().unwrap(),
+        "S1",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(text.contains("\"kind\":\"flow_finished\""));
+    assert!(
+        !text.contains("\"kind\":\"budget_exceeded\""),
+        "a tiny chip must stay within 4x bench budgets: {text}"
+    );
+}
+
+#[test]
+fn watchdog_rejects_unreadable_baseline() {
+    let out = pacor(&["route", "--watchdog", "/no/such/bench.json", "S1"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("reading"), "must name the failure: {err}");
+}
+
+#[test]
 fn export_flags_error_cleanly_on_missing_parent_dir() {
     let missing = std::env::temp_dir()
         .join("pacor_cli_no_such_dir")
         .join("out.json");
     let _ = std::fs::remove_dir_all(missing.parent().unwrap());
-    for flag in ["--report-out", "--metrics-out", "--trace-out"] {
+    for flag in ["--report-out", "--metrics-out", "--trace-out", "--stream-out"] {
         let out = pacor(&["route", "--quiet", flag, missing.to_str().unwrap(), "S1"]);
         assert!(!out.status.success(), "{flag} must fail, not succeed");
         let err = String::from_utf8_lossy(&out.stderr);

@@ -1,8 +1,9 @@
 //! Anti-rot guard for `docs/OBSERVABILITY.md`: run a smoke flow that
 //! exercises both negotiation modes and both rip-up policies with the
-//! flight recorder installed, and assert that every counter, histogram,
-//! span, instant, and recorder-event name actually emitted appears in
-//! the catalog. Adding an emit site without cataloging it fails here.
+//! flight recorder installed and the telemetry stream collecting, and
+//! assert that every counter, histogram, span, instant, recorder-event
+//! name, and telemetry event kind actually emitted appears in the
+//! catalog. Adding an emit site without cataloging it fails here.
 
 use pacor_repro::pacor::obs::{self, TraceEvent};
 use pacor_repro::pacor::route::{NegotiationMode, RipUpPolicy};
@@ -30,6 +31,9 @@ fn every_emitted_name_is_catalogued() {
         .with_threads(4)
         .with_negotiation_mode(NegotiationMode::Parallel);
     obs::flight_install(config.recorder_config());
+    let sink = obs::MemorySink::new();
+    let lines_handle = sink.lines();
+    obs::telemetry_install(obs::TelemetryConfig::deterministic(), vec![Box::new(sink)]);
     let mut kinds: BTreeSet<&'static str> = BTreeSet::new();
     for policy in [RipUpPolicy::Full, RipUpPolicy::Incremental] {
         PacorFlow::new(config.with_ripup_policy(policy))
@@ -37,8 +41,27 @@ fn every_emitted_name_is_catalogued() {
             .expect("dense chip routes");
     }
     let log = obs::flight_take().expect("recorder installed");
+    obs::telemetry_take()
+        .expect("telemetry installed")
+        .expect("no sink errors");
     kinds.extend(log.events().iter().map(|e| e.kind()));
     let report = session.finish();
+
+    // Telemetry event kinds pulled from the raw JSONL stream, so the
+    // doc's streaming-telemetry section rots as loudly as the rest.
+    let telemetry_kinds: BTreeSet<String> = lines_handle
+        .lock()
+        .expect("sink lines")
+        .iter()
+        .map(|l| {
+            let rest = l.split("\"kind\":\"").nth(1).expect("line carries kind");
+            rest[..rest.find('"').expect("kind is quoted")].to_string()
+        })
+        .collect();
+    assert!(
+        telemetry_kinds.contains("round_progress") && telemetry_kinds.contains("escape_progress"),
+        "smoke flow too tame to guard the telemetry catalog: {telemetry_kinds:?}"
+    );
 
     let mut names: BTreeSet<String> = BTreeSet::new();
     names.extend(report.counters().map(|(n, _)| n.to_string()));
@@ -53,6 +76,7 @@ fn every_emitted_name_is_catalogued() {
         }
     }
     names.extend(kinds.iter().map(|k| k.to_string()));
+    names.extend(telemetry_kinds);
     assert!(
         names.contains("negotiate.ripups") && names.contains("rip_up"),
         "smoke flow too tame to guard the catalog: {names:?}"
