@@ -2,16 +2,17 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test clippy bench tables obs-smoke stream-smoke bench-flow bench-smoke negotiate-smoke bench-check golden profile
+.PHONY: verify build test clippy bench tables obs-smoke stream-smoke bench-flow bench-smoke negotiate-smoke escape-smoke bench-check golden profile
 
 # The acceptance gate: release build, full test suite, zero-warning
 # lints, the golden end-to-end snapshots (all chips, release mode), a
 # smoke-run of the observability exports, a smoke-run of the streaming
 # telemetry, a smoke-run of the end-to-end flow benchmark harness, a
-# serial-vs-parallel negotiation equivalence check, and a determinism
-# check of the smallest benchmark chip against the committed
-# BENCH_flow.json baseline.
-verify: build test clippy golden obs-smoke stream-smoke bench-smoke negotiate-smoke bench-check
+# serial-vs-parallel negotiation equivalence check, an
+# incremental-vs-reference escape solver equivalence check, and a
+# determinism check of the smallest benchmark chip against the
+# committed BENCH_flow.json baseline.
+verify: build test clippy golden obs-smoke stream-smoke bench-smoke negotiate-smoke escape-smoke bench-check
 
 build:
 	$(CARGO) build --release --workspace
@@ -24,6 +25,7 @@ clippy:
 
 bench:
 	$(CARGO) bench -p pacor-bench --bench kernels
+	$(CARGO) bench -p pacor-bench --bench escape_solve
 
 # The full end-to-end flow benchmark: every chip under both rip-up
 # policies, written to BENCH_flow.json at the repo root (takes minutes).
@@ -37,8 +39,11 @@ bench-flow:
 # ignored — except the per-stage budget rule: a fresh stage_ms more
 # than 25% AND more than 25 ms over its committed baseline fails (the
 # absolute floor keeps sub-millisecond stages from flaking on
-# scheduler jitter). Re-baseline with `make bench-flow` after an
-# intentional routing or performance change.
+# scheduler jitter). The same rule gates the escape_ms sub-stages
+# (net_build / net_solve / phase1-3), so an escape-internal regression
+# cannot hide inside a stage that still fits its overall budget.
+# Re-baseline with `make bench-flow` after an intentional routing or
+# performance change.
 bench-check:
 	$(CARGO) run --release -p pacor-bench --bin bench_flow -- --chip B1-dense24 --repeat 1 --out target/bench_check.json
 	python3 -c "\
@@ -55,7 +60,10 @@ bench-check:
 	stages = ('clustering', 'lm_routing', 'mst_routing', 'escape', 'detour'); \
 	slow = [(k, s, baseline[k]['stage_ms'][s], e['stage_ms'][s]) for e in cur['entries'] for k in [key(e)] for s in stages if e['stage_ms'][s] > baseline[k]['stage_ms'][s] * 1.25 and e['stage_ms'][s] - baseline[k]['stage_ms'][s] > 25.0]; \
 	assert not slow, 'bench-check stage budget blown (>25%% and >25ms over baseline): %r' % slow; \
-	print('bench-check:', len(cur['entries']), 'entries match the baseline on', len(fields), 'deterministic fields and', len(stages), 'stage budgets')"
+	esub = ('net_build', 'net_solve', 'phase1', 'phase2', 'phase3'); \
+	eslow = [(k, 'escape.' + s, baseline[k]['escape_ms'][s], e['escape_ms'][s]) for e in cur['entries'] for k in [key(e)] for s in esub if e['escape_ms'][s] > baseline[k]['escape_ms'][s] * 1.25 and e['escape_ms'][s] - baseline[k]['escape_ms'][s] > 25.0]; \
+	assert not eslow, 'bench-check escape sub-stage budget blown (>25%% and >25ms over baseline): %r' % eslow; \
+	print('bench-check:', len(cur['entries']), 'entries match the baseline on', len(fields), 'deterministic fields,', len(stages), 'stage budgets and', len(esub), 'escape sub-stage budgets')"
 
 # Cheap harness exercise for CI: one tiny chip (2 policies x 3
 # negotiation configs = 6 entries), result discarded.
@@ -80,6 +88,26 @@ negotiate-smoke:
 	m = json.load(open('target/neg_par_metrics.json')); \
 	assert m['counters'].get('negotiate.speculative', 0) > 0, m['counters']; \
 	print('negotiate-smoke: identical reports,', m['counters']['negotiate.speculative'], 'speculative routes')"
+
+# The incremental escape solver (persistent network, warm-started
+# min-cost flow, windowed recovery) must route the byte-identical
+# report as the full-rebuild reference solver on the dense 48x48
+# benchmark chip — the densest chip that still runs in seconds, with
+# enough escape contention to exercise de-clustering, rip-up recovery
+# and warm re-solves. Wall-clock fields and work counters aside, any
+# diff is a solver-equivalence bug.
+escape-smoke:
+	$(CARGO) run --release --bin pacor-cli -- route --escape-solver reference \
+		B2-dense48 > target/esc_ref_report.json
+	$(CARGO) run --release --bin pacor-cli -- route --escape-solver incremental \
+		B2-dense48 > target/esc_inc_report.json
+	python3 -c "\
+	import json; \
+	r = json.load(open('target/esc_ref_report.json')); \
+	i = json.load(open('target/esc_inc_report.json')); \
+	[d.pop(k) for d in (r, i) for k in ('runtime', 'metrics')]; \
+	assert r == i, 'reference and incremental escape reports diverge'; \
+	print('escape-smoke: identical reports, completion', r['valves_routed'], '/', r['valves_total'])"
 
 # Golden end-to-end snapshots for every bench chip, including the
 # debug-`#[ignore]`d B3-dense96 (minutes in debug, seconds in release).

@@ -13,7 +13,10 @@
 //! `negotiate` spans; best of `--repeat` runs, default 3), a per-stage
 //! `stage_ms` breakdown (span-summed clustering / lm_routing /
 //! mst_routing / escape / detour wall-clock, so speedups attribute to
-//! the stage that earned them), plus the `negotiate.rounds` /
+//! the stage that earned them), an `escape_ms` sub-breakdown of the
+//! escape stage (net_build / net_solve / phase1 / phase2 / phase3,
+//! span-summed and min-across-repeats like `stage_ms`), plus the
+//! `negotiate.rounds` /
 //! `negotiate.ripups` / `astar.scratch_resets`
 //! counter totals and the speculation counters. `--smoke` swaps the
 //! chip list for the single tiny [`pacor_bench::FLOW_SMOKE_CHIP`] so CI
@@ -110,8 +113,9 @@ fn main() {
                     String::new()
                 };
                 let s = &entry.stage_ms;
+                let e = &entry.escape_ms;
                 eprintln!(
-                    "{:<12} {:<12} {:<9} t={} {:>9.1} ms  neg {:>8.1} ms  stages clu {:>6.1} lm {:>7.1} mst {:>6.1} esc {:>6.1} det {:>6.1}  rounds {:>4}  ripups {:>5}  spec {:>5}  complete {:>5.1}%{}",
+                    "{:<12} {:<12} {:<9} t={} {:>9.1} ms  neg {:>8.1} ms  stages clu {:>6.1} lm {:>7.1} mst {:>6.1} esc {:>6.1} det {:>6.1}  esc[bld {:>5.1} slv {:>6.1} p1 {:>6.1} p2 {:>5.1} p3 {:>5.1}]  rounds {:>4}  ripups {:>5}  spec {:>5}  complete {:>5.1}%{}",
                     entry.chip,
                     entry.policy,
                     entry.mode,
@@ -123,6 +127,11 @@ fn main() {
                     s.mst_routing,
                     s.escape,
                     s.detour,
+                    e.net_build,
+                    e.net_solve,
+                    e.phase1,
+                    e.phase2,
+                    e.phase3,
                     entry.rounds,
                     entry.ripups,
                     entry.speculative,

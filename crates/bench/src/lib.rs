@@ -100,61 +100,10 @@ pub fn metrics_header() -> String {
 // ---------------------------------------------------------------------------
 // End-to-end flow benchmark (`bench_flow` binary → BENCH_flow.json).
 
-/// Chips the end-to-end flow benchmark runs, smallest to largest.
-///
-/// Table 1's designs are too sparse to exercise negotiation (every one
-/// converges in a single round), so these are denser synthesized chips —
-/// more multi-valve clusters packed per unit area plus a heavier obstacle
-/// field — where the first routing pass genuinely collides and the rip-up
-/// policies diverge. The larger two are deliberately oversubscribed: the
-/// escape stage cannot connect every valve (completion < 100%, identical
-/// across policies), which keeps the negotiation loop under pressure for
-/// the whole run instead of only its first seconds.
-pub const FLOW_BENCH_CHIPS: [DesignParams; 3] = [
-    DesignParams {
-        name: "B1-dense24",
-        width: 24,
-        height: 24,
-        valves: 18,
-        control_pins: 40,
-        obstacles: 50,
-        multi_clusters: 8,
-        pairs_only: false,
-    },
-    DesignParams {
-        name: "B2-dense48",
-        width: 48,
-        height: 48,
-        valves: 100,
-        control_pins: 110,
-        obstacles: 280,
-        multi_clusters: 44,
-        pairs_only: false,
-    },
-    DesignParams {
-        name: "B3-dense96",
-        width: 96,
-        height: 96,
-        valves: 200,
-        control_pins: 200,
-        obstacles: 700,
-        multi_clusters: 88,
-        pairs_only: false,
-    },
-];
-
-/// The single tiny chip `bench_flow --smoke` (and `make bench-smoke`)
-/// runs so CI can exercise the harness in well under a second.
-pub const FLOW_SMOKE_CHIP: DesignParams = DesignParams {
-    name: "B0-smoke16",
-    width: 16,
-    height: 16,
-    valves: 10,
-    control_pins: 24,
-    obstacles: 20,
-    multi_clusters: 4,
-    pairs_only: false,
-};
+// The dense flow-benchmark chip definitions live in `pacor`'s bench
+// suite (next to `DesignParams` and the Table 1 designs) so the CLI can
+// synthesize and route them by name; re-exported here for the harness.
+pub use pacor::{FLOW_BENCH_CHIPS, FLOW_SMOKE_CHIP};
 
 /// One (chip × rip-up policy × negotiation mode) measurement of the
 /// end-to-end flow.
@@ -199,6 +148,10 @@ pub struct FlowBenchEntry {
     /// `wall_ms`), so speedups can be attributed to the stage that
     /// earned them.
     pub stage_ms: StageMs,
+    /// Escape-stage sub-breakdown (best across repeats, like
+    /// `stage_ms`), attributing the escape wall-clock to network
+    /// construction, min-cost-flow solves, and the three phases.
+    pub escape_ms: EscapeMs,
 }
 
 /// Per-stage wall-clock breakdown of one flow run, in milliseconds.
@@ -238,6 +191,52 @@ impl StageMs {
             mst_routing: self.mst_routing.min(other.mst_routing),
             escape: self.escape.min(other.escape),
             detour: self.detour.min(other.detour),
+        }
+    }
+}
+
+/// Escape-stage wall-clock sub-breakdown of one flow run, in
+/// milliseconds. Each field sums the durations of the matching
+/// `escape.*` span, so an escape regression (or speedup) attributes to
+/// network construction, flow solves, or a specific phase. The two
+/// axes overlap: `net_build`/`net_solve` slice the stage by activity,
+/// `phase1`–`phase3` slice it by protocol phase (each phase span
+/// encloses its build and solve spans, plus phase-local work such as
+/// blocker analysis and delta application).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct EscapeMs {
+    /// `escape.net_build` spans (full and windowed network builds).
+    pub net_build: f64,
+    /// `escape.net_solve` spans (cold and warm min-cost-flow solves).
+    pub net_solve: f64,
+    /// `escape.phase1` spans (global rounds with de-clustering).
+    pub phase1: f64,
+    /// `escape.phase2` spans (pending-only solves plus rip-up recovery).
+    pub phase2: f64,
+    /// `escape.phase3` spans (last-resort global re-solves).
+    pub phase3: f64,
+}
+
+impl EscapeMs {
+    /// Extracts the sub-breakdown from an observability report.
+    pub fn of(report: &pacor::obs::ObsReport) -> Self {
+        Self {
+            net_build: span_ms_of(report, "escape.net_build"),
+            net_solve: span_ms_of(report, "escape.net_solve"),
+            phase1: span_ms_of(report, "escape.phase1"),
+            phase2: span_ms_of(report, "escape.phase2"),
+            phase3: span_ms_of(report, "escape.phase3"),
+        }
+    }
+
+    /// Field-wise minimum, mirroring the best-of-repeats `wall_ms` rule.
+    fn min(self, other: Self) -> Self {
+        Self {
+            net_build: self.net_build.min(other.net_build),
+            net_solve: self.net_solve.min(other.net_solve),
+            phase1: self.phase1.min(other.phase1),
+            phase2: self.phase2.min(other.phase2),
+            phase3: self.phase3.min(other.phase3),
         }
     }
 }
@@ -307,6 +306,7 @@ pub fn run_flow_bench(
         let obs = session.finish();
         let negotiate_ms = span_ms_of(&obs, "negotiate");
         let stage_ms = StageMs::of(&obs);
+        let escape_ms = EscapeMs::of(&obs);
         let wall_ms = report.runtime.as_secs_f64() * 1e3;
         match &mut entry {
             None => {
@@ -329,6 +329,7 @@ pub fn run_flow_bench(
                     total_length: report.total_length,
                     completion_rate: report.completion_rate(),
                     stage_ms,
+                    escape_ms,
                 });
             }
             Some(e) => {
@@ -336,6 +337,7 @@ pub fn run_flow_bench(
                 e.wall_ms = e.wall_ms.min(wall_ms);
                 e.negotiate_ms = e.negotiate_ms.min(negotiate_ms);
                 e.stage_ms = e.stage_ms.min(stage_ms);
+                e.escape_ms = e.escape_ms.min(escape_ms);
             }
         }
     }

@@ -46,7 +46,9 @@ pub use exact::BranchAndBound;
 pub use graph::{CliqueSolution, WeightedGraph};
 pub use greedy::Greedy;
 pub use local_search::TabuLocalSearch;
-pub use selection::{select_one_per_group, select_with_solver, GroupSelection, PairCost, SelectionInstance};
+pub use selection::{
+    select_one_per_group, select_with_solver, GroupSelection, PairCost, SelectionInstance,
+};
 
 /// Unified front-end over the clique solvers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -180,6 +180,62 @@ pub fn synthesize_params(p: DesignParams, seed: u64) -> Problem {
     synthesize(p, seed)
 }
 
+/// Chips the end-to-end flow benchmark runs, smallest to largest.
+///
+/// Table 1's designs are too sparse to exercise negotiation (every one
+/// converges in a single round), so these are denser synthesized chips —
+/// more multi-valve clusters packed per unit area plus a heavier obstacle
+/// field — where the first routing pass genuinely collides and the rip-up
+/// policies diverge. The larger two are deliberately oversubscribed: the
+/// escape stage cannot connect every valve (completion < 100%, identical
+/// across policies), which keeps the negotiation loop under pressure for
+/// the whole run instead of only its first seconds.
+pub const FLOW_BENCH_CHIPS: [DesignParams; 3] = [
+    DesignParams {
+        name: "B1-dense24",
+        width: 24,
+        height: 24,
+        valves: 18,
+        control_pins: 40,
+        obstacles: 50,
+        multi_clusters: 8,
+        pairs_only: false,
+    },
+    DesignParams {
+        name: "B2-dense48",
+        width: 48,
+        height: 48,
+        valves: 100,
+        control_pins: 110,
+        obstacles: 280,
+        multi_clusters: 44,
+        pairs_only: false,
+    },
+    DesignParams {
+        name: "B3-dense96",
+        width: 96,
+        height: 96,
+        valves: 200,
+        control_pins: 200,
+        obstacles: 700,
+        multi_clusters: 88,
+        pairs_only: false,
+    },
+];
+
+/// The single tiny chip `bench_flow --smoke` (and `make bench-smoke`)
+/// runs so CI can exercise the harness in well under a second.
+pub const FLOW_SMOKE_CHIP: DesignParams = DesignParams {
+    name: "B0-smoke16",
+    width: 16,
+    height: 16,
+    valves: 10,
+    control_pins: 24,
+    obstacles: 20,
+    multi_clusters: 4,
+    pairs_only: false,
+};
+
 /// Cluster size plan: every multi-cluster starts as a pair; spare valves
 /// are reserved for singletons (~¼ of the valves) and the rest grow the
 /// multi-clusters round-robin up to size 4.
@@ -244,14 +300,14 @@ fn synthesize(p: DesignParams, seed: u64) -> Problem {
     let vmargin = 2i32.min(p.width as i32 / 4).max(1);
     let mut used: std::collections::HashSet<Point> = obstacle_set.clone();
     let free_cell = |rng: &mut StdRng,
-                         used: &std::collections::HashSet<Point>,
-                         cx: i32,
-                         cy: i32,
-                         radius: i32|
+                     used: &std::collections::HashSet<Point>,
+                     cx: i32,
+                     cy: i32,
+                     radius: i32|
      -> Option<Point> {
         for _ in 0..200 {
-            let x = (cx + rng.gen_range(-radius..=radius))
-                .clamp(vmargin, p.width as i32 - 1 - vmargin);
+            let x =
+                (cx + rng.gen_range(-radius..=radius)).clamp(vmargin, p.width as i32 - 1 - vmargin);
             let y = (cy + rng.gen_range(-radius..=radius))
                 .clamp(vmargin, p.height as i32 - 1 - vmargin);
             let q = Point::new(x, y);
@@ -276,12 +332,18 @@ fn synthesize(p: DesignParams, seed: u64) -> Problem {
     let mut next_valve = 0u32;
     for (k, &size) in sizes.iter().enumerate() {
         // Cluster center with room for the whole group.
-        let spread = (3 + 2 * size as i32).min(p.width.min(p.height) as i32 / 2 - 1).max(2);
+        let spread = (3 + 2 * size as i32)
+            .min(p.width.min(p.height) as i32 / 2 - 1)
+            .max(2);
         let mut members = Vec::new();
         'place: for _ in 0..100 {
             members.clear();
-            let cx = rng.gen_range(vmargin + spread..=(p.width as i32 - 1 - vmargin - spread).max(vmargin + spread));
-            let cy = rng.gen_range(vmargin + spread..=(p.height as i32 - 1 - vmargin - spread).max(vmargin + spread));
+            let cx = rng.gen_range(
+                vmargin + spread..=(p.width as i32 - 1 - vmargin - spread).max(vmargin + spread),
+            );
+            let cy = rng.gen_range(
+                vmargin + spread..=(p.height as i32 - 1 - vmargin - spread).max(vmargin + spread),
+            );
             let mut tentative = used.clone();
             for _ in 0..size {
                 match free_cell(&mut rng, &tentative, cx, cy, spread) {
@@ -413,7 +475,12 @@ mod tests {
             let p = d.params();
             assert_eq!(prob.valve_count() as u32, p.valves, "{}", p.name);
             assert_eq!(prob.obstacles.len() as u32, p.obstacles, "{}", p.name);
-            assert_eq!(prob.lm_clusters.len() as u32, p.multi_clusters, "{}", p.name);
+            assert_eq!(
+                prob.lm_clusters.len() as u32,
+                p.multi_clusters,
+                "{}",
+                p.name
+            );
         }
     }
 

@@ -35,6 +35,30 @@ impl FlowVariant {
     }
 }
 
+/// Which escape-stage solver drives `escape_all`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum EscapeSolver {
+    /// Persistent network with delta edits, warm-started min-cost flow,
+    /// and windowed recovery solves (the default).
+    #[default]
+    Incremental,
+    /// Full per-round network rebuild and cold solve — the pre-rewrite
+    /// behaviour, kept for ablation and the `escape-smoke` equivalence
+    /// check.
+    Reference,
+}
+
+impl EscapeSolver {
+    /// Parses a CLI-style name (`incremental` / `reference`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "incremental" => Some(EscapeSolver::Incremental),
+            "reference" => Some(EscapeSolver::Reference),
+            _ => None,
+        }
+    }
+}
+
 /// Tunable parameters of the flow, defaulting to the paper's values.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FlowConfig {
@@ -74,6 +98,9 @@ pub struct FlowConfig {
     /// and commits deterministically, producing the identical routed
     /// result as `Serial` (the default) at any thread count.
     pub negotiation_mode: NegotiationMode,
+    /// Escape-stage solver: incremental persistent network (default) or
+    /// the full-rebuild reference path.
+    pub escape_solver: EscapeSolver,
     /// Flight-recorder event-ring capacity (oldest events dropped on
     /// overflow). Only read when a recorder is installed.
     pub recorder_capacity: usize,
@@ -98,6 +125,7 @@ impl Default for FlowConfig {
             thread_count: 1,
             ripup_policy: RipUpPolicy::default(),
             negotiation_mode: NegotiationMode::default(),
+            escape_solver: EscapeSolver::default(),
             recorder_capacity: pacor_obs::RecorderConfig::default().capacity,
             recorder_cadence: pacor_obs::RecorderConfig::default().snapshot_cadence,
         }
@@ -129,6 +157,12 @@ impl FlowConfig {
     /// Sets the negotiation round-attempt mode.
     pub fn with_negotiation_mode(mut self, negotiation_mode: NegotiationMode) -> Self {
         self.negotiation_mode = negotiation_mode;
+        self
+    }
+
+    /// Sets the escape-stage solver.
+    pub fn with_escape_solver(mut self, escape_solver: EscapeSolver) -> Self {
+        self.escape_solver = escape_solver;
         self
     }
 
@@ -171,6 +205,7 @@ mod tests {
         assert_eq!(c.thread_count, 1, "parallelism is opt-in");
         assert_eq!(c.ripup_policy, RipUpPolicy::Incremental);
         assert_eq!(c.negotiation_mode, NegotiationMode::Serial);
+        assert_eq!(c.escape_solver, EscapeSolver::Incremental);
         assert_eq!(c.recorder_config(), pacor_obs::RecorderConfig::default());
     }
 
@@ -182,9 +217,30 @@ mod tests {
         assert_eq!(c.recorder_config().capacity, 128);
         assert_eq!(c.recorder_config().snapshot_cadence, 2);
         assert_eq!(
-            FlowConfig::default().with_recorder_cadence(0).recorder_cadence,
+            FlowConfig::default()
+                .with_recorder_cadence(0)
+                .recorder_cadence,
             1,
             "cadence 0 would divide by zero; clamp to every round"
+        );
+    }
+
+    #[test]
+    fn escape_solver_parse() {
+        assert_eq!(
+            EscapeSolver::parse("incremental"),
+            Some(EscapeSolver::Incremental)
+        );
+        assert_eq!(
+            EscapeSolver::parse("reference"),
+            Some(EscapeSolver::Reference)
+        );
+        assert_eq!(EscapeSolver::parse("Reference"), None);
+        assert_eq!(
+            FlowConfig::default()
+                .with_escape_solver(EscapeSolver::Reference)
+                .escape_solver,
+            EscapeSolver::Reference
         );
     }
 

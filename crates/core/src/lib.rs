@@ -52,7 +52,9 @@ mod report;
 mod routed;
 mod verify;
 
-pub use bench_suite::{synthesize_params, BenchDesign, DesignParams};
+pub use bench_suite::{
+    synthesize_params, BenchDesign, DesignParams, FLOW_BENCH_CHIPS, FLOW_SMOKE_CHIP,
+};
 
 /// Individual flow stages, exposed for advanced composition (custom
 /// flows, ablations, stage-level benchmarking).
@@ -62,7 +64,7 @@ pub mod stages {
     pub use crate::mst_routing::{route_mst_cluster, route_ordinary_clusters};
 }
 
-pub use config::{FlowConfig, FlowVariant};
+pub use config::{EscapeSolver, FlowConfig, FlowVariant};
 pub use detour::detour_cluster;
 pub use error::FlowError;
 pub use flow::PacorFlow;
@@ -79,9 +81,9 @@ pub use verify::{verify_layout, verify_layout_strict, Violation};
 
 // Re-export the substrate crates so downstream users need only `pacor`.
 pub use pacor_clique as clique;
-pub use pacor_obs as obs;
 pub use pacor_dme as dme;
 pub use pacor_flow as netflow;
 pub use pacor_grid as grid;
+pub use pacor_obs as obs;
 pub use pacor_route as route;
 pub use pacor_valves as valves;

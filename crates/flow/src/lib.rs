@@ -36,5 +36,7 @@
 mod escape;
 mod mcf;
 
-pub use escape::{EscapeNetwork, EscapeOutcome, EscapeSource, SourceKind};
+pub use escape::{
+    EscapeNetwork, EscapeOutcome, EscapeSource, PersistentEscape, RoundOutcome, SourceKind,
+};
 pub use mcf::{EdgeId, FlowResult, MinCostFlow};

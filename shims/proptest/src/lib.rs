@@ -145,7 +145,9 @@ pub mod prelude {
     pub use crate as prop;
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Runs each embedded `#[test] fn name(pat in strategy, ...) { body }`
@@ -242,8 +244,7 @@ macro_rules! prop_assert_ne {
 macro_rules! prop_assume {
     ($cond:expr) => {
         if !($cond) {
-            return ::std::result::Result::Err(
-                $crate::test_runner::TestCaseError::Reject);
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
         }
     };
 }

@@ -7,7 +7,9 @@
 //! pacor table2 [--full] [--threads N]            regenerate the paper's Table 2
 //! ```
 //!
-//! `<design>` is one of `Chip1 Chip2 S1 S2 S3 S4 S5`; anything else is
+//! `<design>` is one of `Chip1 Chip2 S1 S2 S3 S4 S5`; `route` and
+//! `render` additionally accept the dense flow-benchmark chips
+//! (`B0-smoke16 B1-dense24 B2-dense48 B3-dense96`). Anything else is
 //! treated as a path to a problem JSON produced by `pacor synth` (or by
 //! hand — the schema is `pacor::Problem`'s serde form).
 //!
@@ -33,6 +35,11 @@
 //!   attempts its pending nets (default `serial`; `parallel` speculates
 //!   over the `--threads` workers and commits deterministically, landing
 //!   on the identical routed result).
+//! * `--escape-solver incremental|reference` — which solver drives the
+//!   escape stage (default `incremental`: persistent network with delta
+//!   edits, warm-started min-cost flow and windowed recovery solves;
+//!   `reference` rebuilds and cold-solves every round — kept for
+//!   ablation, routes the identical result).
 //! * `--quiet` — suppress the report JSON on stdout (and the
 //!   `--progress` ticker).
 //! * `--stream-out <path|->` — stream live telemetry events as
@@ -52,7 +59,7 @@
 //! treated as file names.
 
 use pacor::route::{NegotiationMode, RipUpPolicy};
-use pacor::{BenchDesign, FlowConfig, FlowVariant, PacorFlow, Problem, RouteReport};
+use pacor::{BenchDesign, EscapeSolver, FlowConfig, FlowVariant, PacorFlow, Problem, RouteReport};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -63,7 +70,7 @@ fn main() {
         Some("table2") => cmd_table2(&args[1..]),
         _ => {
             eprintln!(
-                "usage: pacor synth <design> [seed]\n       pacor route [--threads N] [--trace-out FILE] [--metrics-out FILE] [--report-out FILE] [--stream-out FILE|-] [--progress] [--watchdog BENCH.json] [--ripup-policy full|incremental] [--negotiation-mode serial|parallel] [--quiet] <problem.json|design>\n       pacor render [--threads N] <problem.json|design>\n       pacor table2 [--full] [--threads N]"
+                "usage: pacor synth <design> [seed]\n       pacor route [--threads N] [--trace-out FILE] [--metrics-out FILE] [--report-out FILE] [--stream-out FILE|-] [--progress] [--watchdog BENCH.json] [--ripup-policy full|incremental] [--negotiation-mode serial|parallel] [--escape-solver incremental|reference] [--quiet] <problem.json|design>\n       pacor render [--threads N] <problem.json|design>\n       pacor table2 [--full] [--threads N]"
             );
             2
         }
@@ -96,6 +103,7 @@ struct Options {
     watchdog: Option<String>,
     ripup_policy: Option<RipUpPolicy>,
     negotiation_mode: Option<NegotiationMode>,
+    escape_solver: Option<EscapeSolver>,
     quiet: bool,
     full: bool,
     positional: Vec<String>,
@@ -127,11 +135,10 @@ fn parse_options(args: &[String], allowed: &[&str]) -> Result<Options, String> {
         match flag {
             "--threads" => {
                 let v = value()?;
-                opts.threads = v
-                    .parse::<usize>()
-                    .ok()
-                    .filter(|&n| n >= 1)
-                    .ok_or_else(|| format!("--threads: expected a positive integer, got {v:?}"))?;
+                opts.threads =
+                    v.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        format!("--threads: expected a positive integer, got {v:?}")
+                    })?;
             }
             "--trace-out" => opts.trace_out = Some(value()?),
             "--metrics-out" => opts.metrics_out = Some(value()?),
@@ -151,6 +158,12 @@ fn parse_options(args: &[String], allowed: &[&str]) -> Result<Options, String> {
                     format!("--negotiation-mode: expected serial or parallel, got {v:?}")
                 })?);
             }
+            "--escape-solver" => {
+                let v = value()?;
+                opts.escape_solver = Some(EscapeSolver::parse(&v).ok_or_else(|| {
+                    format!("--escape-solver: expected incremental or reference, got {v:?}")
+                })?);
+            }
             "--quiet" => opts.quiet = true,
             "--full" => opts.full = true,
             _ => opts.positional.push(a.clone()),
@@ -159,9 +172,20 @@ fn parse_options(args: &[String], allowed: &[&str]) -> Result<Options, String> {
     Ok(opts)
 }
 
+/// The dense flow-benchmark chips, routable by name like the Table 1
+/// designs (`make escape-smoke` depends on this for B2-dense48).
+fn bench_chip_of(name: &str) -> Option<pacor::DesignParams> {
+    std::iter::once(pacor::FLOW_SMOKE_CHIP)
+        .chain(pacor::FLOW_BENCH_CHIPS)
+        .find(|c| c.name == name)
+}
+
 fn load_problem(arg: &str, seed: u64) -> Result<Problem, String> {
     if let Some(design) = design_of(arg) {
         return Ok(design.synthesize(seed));
+    }
+    if let Some(chip) = bench_chip_of(arg) {
+        return Ok(pacor::synthesize_params(chip, seed));
     }
     let text = std::fs::read_to_string(arg).map_err(|e| format!("reading {arg}: {e}"))?;
     serde_json::from_str(&text).map_err(|e| format!("parsing {arg}: {e}"))
@@ -229,7 +253,13 @@ fn load_budgets(path: &str) -> Result<pacor::obs::StageBudgets, String> {
     let serde_json::Value::Array(entries) = report.field("entries").map_err(|e| bad(&e))? else {
         return Err(format!("parsing {path}: `entries` is not an array"));
     };
-    const STAGES: [&str; 5] = ["clustering", "lm_routing", "mst_routing", "escape", "detour"];
+    const STAGES: [&str; 5] = [
+        "clustering",
+        "lm_routing",
+        "mst_routing",
+        "escape",
+        "detour",
+    ];
     let mut maxima = [0.0f64; 5];
     for entry in entries {
         let stage_ms = entry.field("stage_ms").map_err(|e| bad(&e))?;
@@ -260,6 +290,7 @@ fn cmd_route(args: &[String]) -> i32 {
             "--watchdog",
             "--ripup-policy",
             "--negotiation-mode",
+            "--escape-solver",
             "--quiet",
         ],
     ) {
@@ -287,7 +318,8 @@ fn cmd_route(args: &[String]) -> i32 {
     let config = FlowConfig::default()
         .with_threads(opts.threads)
         .with_ripup_policy(opts.ripup_policy.unwrap_or_default())
-        .with_negotiation_mode(opts.negotiation_mode.unwrap_or_default());
+        .with_negotiation_mode(opts.negotiation_mode.unwrap_or_default())
+        .with_escape_solver(opts.escape_solver.unwrap_or_default());
     if opts.report_out.is_some() {
         pacor::obs::flight_install(config.recorder_config());
     }

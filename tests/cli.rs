@@ -74,7 +74,10 @@ fn route_rejects_unknown_flag() {
     assert!(!out.status.success());
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("unknown option --tracee-out"), "{err}");
-    assert!(err.contains("--trace-out"), "should list supported flags: {err}");
+    assert!(
+        err.contains("--trace-out"),
+        "should list supported flags: {err}"
+    );
 }
 
 #[test]
@@ -179,6 +182,35 @@ fn route_rejects_bad_negotiation_mode() {
         err.contains("expected serial or parallel"),
         "must name the accepted values: {err}"
     );
+}
+
+#[test]
+fn route_rejects_bad_escape_solver() {
+    let out = pacor(&["route", "--escape-solver", "warm", "S1"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("expected incremental or reference"),
+        "must name the accepted values: {err}"
+    );
+}
+
+#[test]
+fn escape_solvers_agree_on_report() {
+    // The incremental solver must route the identical result as the
+    // full-rebuild reference; only wall-clock fields and work counters
+    // may differ.
+    let strip = |bytes: &[u8]| {
+        let text = std::str::from_utf8(bytes).unwrap();
+        let mut r: pacor_repro::pacor::RouteReport = serde_json::from_str(text).unwrap();
+        r.runtime = std::time::Duration::ZERO;
+        r.metrics = pacor_repro::pacor::FlowMetrics::default();
+        r
+    };
+    let incremental = pacor(&["route", "--escape-solver", "incremental", "S2"]);
+    let reference = pacor(&["route", "--escape-solver", "reference", "S2"]);
+    assert!(incremental.status.success() && reference.status.success());
+    assert_eq!(strip(&incremental.stdout), strip(&reference.stdout));
 }
 
 #[test]
@@ -317,7 +349,13 @@ fn stream_out_writes_versioned_jsonl() {
     let dir = std::env::temp_dir().join("pacor_cli_test");
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("s1_stream.jsonl");
-    let out = pacor(&["route", "--quiet", "--stream-out", path.to_str().unwrap(), "S1"]);
+    let out = pacor(&[
+        "route",
+        "--quiet",
+        "--stream-out",
+        path.to_str().unwrap(),
+        "S1",
+    ]);
     assert!(out.status.success());
     let text = std::fs::read_to_string(&path).unwrap();
     let lines: Vec<&str> = text.lines().collect();
@@ -417,11 +455,19 @@ fn export_flags_error_cleanly_on_missing_parent_dir() {
         .join("pacor_cli_no_such_dir")
         .join("out.json");
     let _ = std::fs::remove_dir_all(missing.parent().unwrap());
-    for flag in ["--report-out", "--metrics-out", "--trace-out", "--stream-out"] {
+    for flag in [
+        "--report-out",
+        "--metrics-out",
+        "--trace-out",
+        "--stream-out",
+    ] {
         let out = pacor(&["route", "--quiet", flag, missing.to_str().unwrap(), "S1"]);
         assert!(!out.status.success(), "{flag} must fail, not succeed");
         let err = String::from_utf8_lossy(&out.stderr);
-        assert!(err.contains("writing"), "{flag} must report the path: {err}");
+        assert!(
+            err.contains("writing"),
+            "{flag} must report the path: {err}"
+        );
         assert!(
             !err.contains("panicked"),
             "{flag} must error, not panic: {err}"
