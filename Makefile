@@ -2,17 +2,18 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test clippy bench tables obs-smoke stream-smoke bench-flow bench-smoke negotiate-smoke escape-smoke bench-check golden profile
+.PHONY: verify build test clippy bench tables obs-smoke stream-smoke bench-flow bench-smoke negotiate-smoke escape-smoke hier-smoke bench-check golden profile
 
 # The acceptance gate: release build, full test suite, zero-warning
 # lints, the golden end-to-end snapshots (all chips, release mode), a
 # smoke-run of the observability exports, a smoke-run of the streaming
 # telemetry, a smoke-run of the end-to-end flow benchmark harness, a
 # serial-vs-parallel negotiation equivalence check, an
-# incremental-vs-reference escape solver equivalence check, and a
-# determinism check of the smallest benchmark chip against the
+# incremental-vs-reference escape solver equivalence check, a
+# flat-vs-hierarchical single-region equivalence check, and a
+# determinism check of the B1 and B4 benchmark tiers against the
 # committed BENCH_flow.json baseline.
-verify: build test clippy golden obs-smoke stream-smoke bench-smoke negotiate-smoke escape-smoke bench-check
+verify: build test clippy golden obs-smoke stream-smoke bench-smoke negotiate-smoke escape-smoke hier-smoke bench-check
 
 build:
 	$(CARGO) build --release --workspace
@@ -44,13 +45,23 @@ bench-flow:
 # cannot hide inside a stage that still fits its overall budget.
 # Re-baseline with `make bench-flow` after an intentional routing or
 # performance change.
+#
+# The second run gates the large-chip tier: B4-dense256's flat /
+# hierarchical-serial / hierarchical-4-thread entries must match the
+# baseline on the same deterministic fields (hierarchical results are
+# thread-count invariant by design, so the fields hold on any host),
+# and on hosts with >= 4 CPUs the 4-thread region-parallel entry must
+# come in at >= 2x the hierarchical-serial wall-clock
+# (scaling_efficiency >= 2.0). Hosts that cannot parallelize (the
+# entry's own host_cpus says so) skip the scaling gate — every thread
+# count serializes there, so the ratio only measures noise.
 bench-check:
 	$(CARGO) run --release -p pacor-bench --bin bench_flow -- --chip B1-dense24 --repeat 1 --out target/bench_check.json
 	python3 -c "\
 	import json; \
 	base = json.load(open('BENCH_flow.json')); \
 	cur = json.load(open('target/bench_check.json')); \
-	key = lambda e: (e['chip'], e['policy'], e['mode'], e['threads']); \
+	key = lambda e: (e['chip'], e['policy'], e['mode'], e['routing'], e['threads']); \
 	fields = ('rounds', 'ripups', 'scratch_resets', 'speculative', 'conflicts', 'serial_fallbacks', 'total_length', 'completion_rate'); \
 	baseline = {key(e): e for e in base['entries'] if e['chip'] == 'B1-dense24'}; \
 	assert baseline, 'baseline has no B1-dense24 entries'; \
@@ -64,6 +75,26 @@ bench-check:
 	eslow = [(k, 'escape.' + s, baseline[k]['escape_ms'][s], e['escape_ms'][s]) for e in cur['entries'] for k in [key(e)] for s in esub if e['escape_ms'][s] > baseline[k]['escape_ms'][s] * 1.25 and e['escape_ms'][s] - baseline[k]['escape_ms'][s] > 25.0]; \
 	assert not eslow, 'bench-check escape sub-stage budget blown (>25%% and >25ms over baseline): %r' % eslow; \
 	print('bench-check:', len(cur['entries']), 'entries match the baseline on', len(fields), 'deterministic fields,', len(stages), 'stage budgets and', len(esub), 'escape sub-stage budgets')"
+	$(CARGO) run --release -p pacor-bench --bin bench_flow -- --chip B4-dense256 --repeat 1 --out target/bench_check_b4.json
+	python3 -c "\
+	import json; \
+	base = json.load(open('BENCH_flow.json')); \
+	cur = json.load(open('target/bench_check_b4.json')); \
+	key = lambda e: (e['chip'], e['policy'], e['mode'], e['routing'], e['threads']); \
+	fields = ('rounds', 'ripups', 'scratch_resets', 'speculative', 'conflicts', 'serial_fallbacks', 'total_length', 'completion_rate'); \
+	baseline = {key(e): e for e in base['entries'] if e['chip'] == 'B4-dense256'}; \
+	assert baseline, 'baseline has no B4-dense256 entries'; \
+	assert len(cur['entries']) == len(baseline), (len(cur['entries']), len(baseline)); \
+	diffs = [(k, f, baseline[key(e)][f], e[f]) for e in cur['entries'] for k in [key(e)] for f in fields if baseline[k][f] != e[f]]; \
+	assert not diffs, 'bench-check drift vs BENCH_flow.json: %r' % diffs; \
+	complete = [e for e in cur['entries'] if e['completion_rate'] != 1.0]; \
+	assert not complete, 'B4-dense256 must fully route: %r' % complete; \
+	par = [e for e in cur['entries'] if e['routing'] == 'hierarchical' and e['threads'] == 4]; \
+	assert par, 'B4 tier is missing the 4-thread hierarchical entry'; \
+	gated = [e for e in par if e['host_cpus'] >= 4]; \
+	weak = [(e['threads'], e['host_cpus'], e['scaling_efficiency']) for e in gated if e['scaling_efficiency'] < 2.0]; \
+	assert not weak, 'region-parallel speedup below 2x on a >=4-CPU host: %r' % weak; \
+	print('bench-check: B4 tier matches the baseline;', ('scaling gate passed (%.2fx)' % gated[0]['scaling_efficiency']) if gated else 'scaling gate skipped (host_cpus=%d cannot parallelize)' % par[0]['host_cpus'])"
 
 # Cheap harness exercise for CI: one tiny chip (2 policies x 3
 # negotiation configs = 6 entries), result discarded.
@@ -108,6 +139,23 @@ escape-smoke:
 	[d.pop(k) for d in (r, i) for k in ('runtime', 'metrics')]; \
 	assert r == i, 'reference and incremental escape reports diverge'; \
 	print('escape-smoke: identical reports, completion', r['valves_routed'], '/', r['valves_total'])"
+
+# A gcell larger than the chip degenerates the hierarchy to a single
+# region, and DESIGN.md §15 promises that case is *byte-identical* to
+# the flat flow — same stage pipeline, same report. Wall-clock fields
+# aside, any diff is a mode-dispatch bug.
+hier-smoke:
+	$(CARGO) run --release --bin pacor-cli -- route --routing-mode flat \
+		B0-smoke16 > target/hier_flat_report.json
+	$(CARGO) run --release --bin pacor-cli -- route --routing-mode hierarchical \
+		B0-smoke16 > target/hier_hier_report.json
+	python3 -c "\
+	import json; \
+	f = json.load(open('target/hier_flat_report.json')); \
+	h = json.load(open('target/hier_hier_report.json')); \
+	[d.pop(k) for d in (f, h) for k in ('runtime', 'metrics')]; \
+	assert f == h, 'flat and single-region hierarchical reports diverge'; \
+	print('hier-smoke: identical reports, completion', f['valves_routed'], '/', f['valves_total'])"
 
 # Golden end-to-end snapshots for every bench chip, including the
 # debug-`#[ignore]`d B3-dense96 (minutes in debug, seconds in release).

@@ -2,7 +2,7 @@
 //! policies and both negotiation modes, writing `BENCH_flow.json`.
 //!
 //! ```text
-//! bench_flow [--out FILE] [--repeat N] [--smoke] [--chip NAME] [--events]
+//! bench_flow [--out FILE] [--repeat N] [--smoke] [--huge] [--chip NAME] [--events]
 //! ```
 //!
 //! Runs the full flow (clustering → LM routing → MST routing → escape →
@@ -18,12 +18,24 @@
 //! span-summed and min-across-repeats like `stage_ms`), plus the
 //! `negotiate.rounds` /
 //! `negotiate.ripups` / `astar.scratch_resets`
-//! counter totals and the speculation counters. `--smoke` swaps the
-//! chip list for the single tiny [`pacor_bench::FLOW_SMOKE_CHIP`] so CI
-//! can exercise the harness cheaply; `--chip NAME` keeps only the named
-//! chip (for `make bench-check`-style baseline comparisons). Default
-//! output path: `BENCH_flow.json`; the file is written atomically
-//! (temp + rename).
+//! counter totals and the speculation counters.
+//!
+//! **Large chips** (width ≥ 256, i.e. the B4-dense256 tier and the
+//! opt-in `--huge` B5-dense512) run a reduced schedule — repeats capped
+//! at 2 and a three-entry routing comparison instead of the policy ×
+//! mode matrix: flat serial, hierarchical serial, and hierarchical with
+//! 4 region-parallel threads (see DESIGN.md §15). Every multi-thread
+//! entry gets a `scaling_efficiency` (serial wall / its wall) relative
+//! to the 1-thread entry with the same chip, policy and routing mode;
+//! entries that scale *backwards* on a host with more than one CPU are
+//! warned about on stderr.
+//!
+//! `--smoke` swaps the chip list for the single tiny
+//! [`pacor_bench::FLOW_SMOKE_CHIP`] so CI can exercise the harness
+//! cheaply; `--chip NAME` keeps only the named chip (for
+//! `make bench-check`-style baseline comparisons) and implies `--huge`
+//! when the huge chip is named. Default output path: `BENCH_flow.json`;
+//! the file is written atomically (temp + rename).
 //!
 //! `--events` adds an opt-in per-entry sanity column on stderr: one
 //! extra (untimed) run per entry with the deterministic telemetry
@@ -32,16 +44,20 @@
 //! `negotiate.rounds` counter. The JSON schema is unchanged.
 
 use pacor::route::{NegotiationMode, RipUpPolicy};
-use pacor::DesignParams;
+use pacor::{DesignParams, RoutingMode};
 use pacor_bench::{
-    collect_telemetry, run_flow_bench, FlowBenchReport, BENCH_SEED, FLOW_BENCH_CHIPS,
-    FLOW_SMOKE_CHIP,
+    collect_telemetry, fill_scaling_efficiency, run_flow_bench, FlowBenchEntry, FlowBenchReport,
+    BENCH_SEED, FLOW_BENCH_CHIPS, FLOW_HUGE_CHIP, FLOW_SMOKE_CHIP,
 };
+
+/// Chips at or above this width get the reduced large-chip schedule.
+const LARGE_WIDTH: u32 = 256;
 
 fn main() {
     let mut out = String::from("BENCH_flow.json");
     let mut repeat = 3u32;
     let mut smoke = false;
+    let mut huge = false;
     let mut events = false;
     let mut chip_filter: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -56,6 +72,7 @@ fn main() {
                 _ => return usage("--repeat requires a positive integer"),
             },
             "--smoke" => smoke = true,
+            "--huge" => huge = true,
             "--events" => events = true,
             "--chip" => match args.next() {
                 Some(v) => chip_filter = Some(v),
@@ -70,6 +87,9 @@ fn main() {
     } else {
         FLOW_BENCH_CHIPS.to_vec()
     };
+    if huge || chip_filter.as_deref() == Some(FLOW_HUGE_CHIP.name) {
+        chips.push(FLOW_HUGE_CHIP);
+    }
     if let Some(name) = &chip_filter {
         chips.retain(|c| c.name == *name);
         if chips.is_empty() {
@@ -82,65 +102,80 @@ fn main() {
         repeat,
         entries: Vec::new(),
     };
-    let configs = [
-        (NegotiationMode::Serial, 1usize),
-        (NegotiationMode::Parallel, 2),
-        (NegotiationMode::Parallel, 4),
-    ];
     for chip in chips {
-        for policy in [RipUpPolicy::Full, RipUpPolicy::Incremental] {
-            for (mode, threads) in configs {
-                // Counter totals come from the flow's own per-run obs
-                // session (carried in the report), so entries cannot
-                // bleed.
-                let entry = run_flow_bench(chip, policy, mode, threads, BENCH_SEED, repeat);
-                // Opt-in telemetry sanity: one extra untimed run with
-                // the deterministic stream installed; its round events
-                // must agree with the counters the timed runs report.
-                let events_col = if events {
-                    let lines = collect_telemetry(chip, policy, mode, threads, BENCH_SEED);
-                    let round_events = lines
-                        .iter()
-                        .filter(|l| l.contains("\"kind\":\"round_progress\""))
-                        .count() as u64;
-                    assert_eq!(
-                        round_events, entry.rounds,
-                        "{} {} {} t={}: round_progress events diverge from negotiate.rounds",
-                        entry.chip, entry.policy, entry.mode, entry.threads
-                    );
-                    format!("  events {:>5}", lines.len())
-                } else {
-                    String::new()
-                };
-                let s = &entry.stage_ms;
-                let e = &entry.escape_ms;
-                eprintln!(
-                    "{:<12} {:<12} {:<9} t={} {:>9.1} ms  neg {:>8.1} ms  stages clu {:>6.1} lm {:>7.1} mst {:>6.1} esc {:>6.1} det {:>6.1}  esc[bld {:>5.1} slv {:>6.1} p1 {:>6.1} p2 {:>5.1} p3 {:>5.1}]  rounds {:>4}  ripups {:>5}  spec {:>5}  complete {:>5.1}%{}",
-                    entry.chip,
-                    entry.policy,
-                    entry.mode,
-                    entry.threads,
-                    entry.wall_ms,
-                    entry.negotiate_ms,
-                    s.clustering,
-                    s.lm_routing,
-                    s.mst_routing,
-                    s.escape,
-                    s.detour,
-                    e.net_build,
-                    e.net_solve,
-                    e.phase1,
-                    e.phase2,
-                    e.phase3,
-                    entry.rounds,
-                    entry.ripups,
-                    entry.speculative,
-                    entry.completion_rate * 100.0,
-                    events_col
+        let mut chip_entries: Vec<FlowBenchEntry> = Vec::new();
+        if chip.width >= LARGE_WIDTH {
+            // Large tier: routing-mode comparison at capped repeats.
+            let configs = [
+                (RoutingMode::Flat, 1usize),
+                (RoutingMode::Hierarchical, 1),
+                (RoutingMode::Hierarchical, 4),
+            ];
+            for (routing, threads) in configs {
+                let entry = run_flow_bench(
+                    chip,
+                    RipUpPolicy::Incremental,
+                    NegotiationMode::Serial,
+                    routing,
+                    threads,
+                    BENCH_SEED,
+                    repeat.min(2),
                 );
-                report.entries.push(entry);
+                print_entry(&entry, String::new());
+                chip_entries.push(entry);
+            }
+        } else {
+            let configs = [
+                (NegotiationMode::Serial, 1usize),
+                (NegotiationMode::Parallel, 2),
+                (NegotiationMode::Parallel, 4),
+            ];
+            for policy in [RipUpPolicy::Full, RipUpPolicy::Incremental] {
+                for (mode, threads) in configs {
+                    // Counter totals come from the flow's own per-run obs
+                    // session (carried in the report), so entries cannot
+                    // bleed.
+                    let entry = run_flow_bench(
+                        chip,
+                        policy,
+                        mode,
+                        RoutingMode::Flat,
+                        threads,
+                        BENCH_SEED,
+                        repeat,
+                    );
+                    // Opt-in telemetry sanity: one extra untimed run with
+                    // the deterministic stream installed; its round events
+                    // must agree with the counters the timed runs report.
+                    let events_col = if events {
+                        let lines = collect_telemetry(chip, policy, mode, threads, BENCH_SEED);
+                        let round_events = lines
+                            .iter()
+                            .filter(|l| l.contains("\"kind\":\"round_progress\""))
+                            .count() as u64;
+                        assert_eq!(
+                            round_events, entry.rounds,
+                            "{} {} {} t={}: round_progress events diverge from negotiate.rounds",
+                            entry.chip, entry.policy, entry.mode, entry.threads
+                        );
+                        format!("  events {:>5}", lines.len())
+                    } else {
+                        String::new()
+                    };
+                    print_entry(&entry, events_col);
+                    chip_entries.push(entry);
+                }
             }
         }
+        for (chip, policy, routing, threads, eff) in fill_scaling_efficiency(&mut chip_entries) {
+            eprintln!(
+                "bench_flow: WARNING: {chip} {policy} {routing} t={threads} ran {:.2}x the serial \
+                 wall-clock — parallel slower than serial on a {}-CPU host",
+                1.0 / eff,
+                pacor_bench::host_cpus(),
+            );
+        }
+        report.entries.extend(chip_entries);
     }
 
     let json = serde_json::to_string_pretty(&report).expect("reports serialize");
@@ -151,9 +186,39 @@ fn main() {
     eprintln!("bench_flow: wrote {out}");
 }
 
+fn print_entry(entry: &FlowBenchEntry, events_col: String) {
+    let s = &entry.stage_ms;
+    let e = &entry.escape_ms;
+    eprintln!(
+        "{:<12} {:<12} {:<9} {:<13} t={} {:>9.1} ms  neg {:>8.1} ms  stages clu {:>6.1} lm {:>7.1} mst {:>6.1} esc {:>6.1} det {:>6.1}  esc[bld {:>5.1} slv {:>6.1} p1 {:>6.1} p2 {:>5.1} p3 {:>5.1}]  rounds {:>4}  ripups {:>5}  spec {:>5}  complete {:>5.1}%{}",
+        entry.chip,
+        entry.policy,
+        entry.mode,
+        entry.routing,
+        entry.threads,
+        entry.wall_ms,
+        entry.negotiate_ms,
+        s.clustering,
+        s.lm_routing,
+        s.mst_routing,
+        s.escape,
+        s.detour,
+        e.net_build,
+        e.net_solve,
+        e.phase1,
+        e.phase2,
+        e.phase3,
+        entry.rounds,
+        entry.ripups,
+        entry.speculative,
+        entry.completion_rate * 100.0,
+        events_col
+    );
+}
+
 fn usage(err: &str) {
     eprintln!(
-        "bench_flow: {err}\nusage: bench_flow [--out FILE] [--repeat N] [--smoke] [--chip NAME] [--events]"
+        "bench_flow: {err}\nusage: bench_flow [--out FILE] [--repeat N] [--smoke] [--huge] [--chip NAME] [--events]"
     );
     std::process::exit(2);
 }

@@ -14,6 +14,7 @@
 use pacor::route::{NegotiationMode, RipUpPolicy};
 use pacor::{
     synthesize_params, BenchDesign, DesignParams, FlowConfig, FlowVariant, PacorFlow, RouteReport,
+    RoutingMode,
 };
 use serde::{Deserialize, Serialize};
 
@@ -103,7 +104,7 @@ pub fn metrics_header() -> String {
 // The dense flow-benchmark chip definitions live in `pacor`'s bench
 // suite (next to `DesignParams` and the Table 1 designs) so the CLI can
 // synthesize and route them by name; re-exported here for the harness.
-pub use pacor::{FLOW_BENCH_CHIPS, FLOW_SMOKE_CHIP};
+pub use pacor::{FLOW_BENCH_CHIPS, FLOW_HUGE_CHIP, FLOW_SMOKE_CHIP};
 
 /// One (chip × rip-up policy × negotiation mode) measurement of the
 /// end-to-end flow.
@@ -121,10 +122,21 @@ pub struct FlowBenchEntry {
     pub policy: String,
     /// Negotiation mode label (`serial` / `parallel`).
     pub mode: String,
+    /// Routing mode label (`flat` / `hierarchical`).
+    pub routing: String,
     /// Worker threads configured for the run.
     pub threads: usize,
+    /// CPUs the measuring host exposed. The scaling gate in
+    /// `make bench-check` only applies where the hardware can actually
+    /// parallelize — a 1-CPU container serializes every thread count.
+    pub host_cpus: usize,
     /// End-to-end wall-clock of the best repeat, in milliseconds.
     pub wall_ms: f64,
+    /// Serial-baseline wall-clock divided by this entry's: the speedup
+    /// earned by this entry's extra threads over the 1-thread entry with
+    /// the same chip, policy and routing mode (1.0 for that baseline
+    /// itself, and for entries with no baseline in the same run).
+    pub scaling_efficiency: f64,
     /// Wall-clock spent inside `negotiate` spans on the best-negotiate
     /// repeat, in milliseconds (the phase the parallel mode targets).
     pub negotiate_ms: f64,
@@ -252,6 +264,49 @@ pub struct FlowBenchReport {
     pub entries: Vec<FlowBenchEntry>,
 }
 
+/// CPUs the current host exposes to this process.
+pub fn host_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Fills in `scaling_efficiency` across one run's entries: each
+/// multi-thread entry is related to the 1-thread entry sharing its chip,
+/// policy and routing mode. Returns the (chip, policy, routing, threads,
+/// efficiency) tuples of every entry that scaled *backwards* — parallel
+/// slower than serial — on a host that could have parallelized, so the
+/// caller can warn about them.
+pub fn fill_scaling_efficiency(
+    entries: &mut [FlowBenchEntry],
+) -> Vec<(String, String, String, usize, f64)> {
+    let serial_walls: Vec<(String, String, String, f64)> = entries
+        .iter()
+        .filter(|e| e.threads == 1)
+        .map(|e| (e.chip.clone(), e.policy.clone(), e.routing.clone(), e.wall_ms))
+        .collect();
+    let mut regressions = Vec::new();
+    for e in entries.iter_mut().filter(|e| e.threads > 1) {
+        let Some((_, _, _, serial)) = serial_walls
+            .iter()
+            .find(|(c, p, r, _)| *c == e.chip && *p == e.policy && *r == e.routing)
+        else {
+            continue;
+        };
+        e.scaling_efficiency = serial / e.wall_ms;
+        if e.scaling_efficiency < 1.0 && e.host_cpus > 1 {
+            regressions.push((
+                e.chip.clone(),
+                e.policy.clone(),
+                e.routing.clone(),
+                e.threads,
+                e.scaling_efficiency,
+            ));
+        }
+    }
+    regressions
+}
+
 /// Sums the durations of every span with the given name in an
 /// observability report, in milliseconds.
 fn span_ms_of(report: &pacor::obs::ObsReport, span: &str) -> f64 {
@@ -282,6 +337,7 @@ pub fn run_flow_bench(
     params: DesignParams,
     policy: RipUpPolicy,
     mode: NegotiationMode,
+    routing: RoutingMode,
     threads: usize,
     seed: u64,
     repeat: u32,
@@ -290,6 +346,7 @@ pub fn run_flow_bench(
     let config = FlowConfig::default()
         .with_ripup_policy(policy)
         .with_negotiation_mode(mode)
+        .with_routing_mode(routing)
         .with_threads(threads);
     PacorFlow::new(config)
         .run(&problem)
@@ -317,8 +374,11 @@ pub fn run_flow_bench(
                     valves: params.valves,
                     policy: policy.label().to_string(),
                     mode: mode.label().to_string(),
+                    routing: routing.label().to_string(),
                     threads,
+                    host_cpus: host_cpus(),
                     wall_ms,
+                    scaling_efficiency: 1.0,
                     negotiate_ms,
                     rounds: report.metrics.counter("negotiate.rounds"),
                     ripups: report.metrics.counter("negotiate.ripups"),

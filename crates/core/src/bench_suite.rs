@@ -190,7 +190,7 @@ pub fn synthesize_params(p: DesignParams, seed: u64) -> Problem {
 /// escape stage cannot connect every valve (completion < 100%, identical
 /// across policies), which keeps the negotiation loop under pressure for
 /// the whole run instead of only its first seconds.
-pub const FLOW_BENCH_CHIPS: [DesignParams; 3] = [
+pub const FLOW_BENCH_CHIPS: [DesignParams; 4] = [
     DesignParams {
         name: "B1-dense24",
         width: 24,
@@ -221,7 +221,35 @@ pub const FLOW_BENCH_CHIPS: [DesignParams; 3] = [
         multi_clusters: 88,
         pairs_only: false,
     },
+    // FPVA-scale tier (arXiv:1705.04996): large enough that the flat
+    // flow visibly struggles and the hierarchical split pays off, but
+    // pin-rich enough to finish at 100% completion so the tier can
+    // gate correctness (verify-clean routing) as well as speed.
+    DesignParams {
+        name: "B4-dense256",
+        width: 256,
+        height: 256,
+        valves: 400,
+        control_pins: 700,
+        obstacles: 2800,
+        multi_clusters: 150,
+        pairs_only: false,
+    },
 ];
+
+/// The opt-in 512² chip `bench_flow --huge` adds on top of
+/// [`FLOW_BENCH_CHIPS`] — FPVA-scale stress, too slow for the default
+/// benchmark run.
+pub const FLOW_HUGE_CHIP: DesignParams = DesignParams {
+    name: "B5-dense512",
+    width: 512,
+    height: 512,
+    valves: 900,
+    control_pins: 1600,
+    obstacles: 9000,
+    multi_clusters: 340,
+    pairs_only: false,
+};
 
 /// The single tiny chip `bench_flow --smoke` (and `make bench-smoke`)
 /// runs so CI can exercise the harness in well under a second.

@@ -99,7 +99,18 @@ fn escape_phases(
             }
         }
         let n_sources = routed.len();
-        let outcome = if !incremental {
+        let outcome = if incremental && config.escape_windowed {
+            // Inside a hierarchical window the persistent whole-grid
+            // network costs more than it saves: the flood-limited build
+            // touches only the window's reachable cells, so a cold
+            // build per round is the cheaper trade.
+            let sources: Vec<_> = routed.iter().map(|rc| rc.escape_source()).collect();
+            let _b = pacor_obs::span("escape.net_build");
+            let net = EscapeNetwork::build_windowed(obs, &sources, pins);
+            drop(_b);
+            let _s = pacor_obs::span("escape.net_solve");
+            net.solve()
+        } else if !incremental {
             let sources: Vec<_> = routed.iter().map(|rc| rc.escape_source()).collect();
             let _b = pacor_obs::span("escape.net_build");
             let net = EscapeNetwork::build(obs, &sources, pins);
@@ -432,6 +443,12 @@ fn escape_phases(
 
     if routed.iter().all(|rc| rc.escape.is_some()) {
         return stats; // phase 2's final round completed everything
+    }
+    if config.escape_windowed {
+        // Windowed hierarchical runs stop here: a failure inside a
+        // pin-starved window is better retried by the whole-chip repair
+        // pass than by ripping the window's every escape.
+        return stats;
     }
 
     // ---- Phase 3: last resort ------------------------------------------

@@ -1,13 +1,13 @@
 //! The PACOR flow orchestrator (Fig. 2 of the paper).
 
-use crate::escape_stage::escape_all;
+use crate::escape_stage::{escape_all, EscapeStats};
 use crate::lm_routing::route_lm_clusters;
 use crate::mst_routing::route_ordinary_clusters;
 use crate::{
     detour_cluster, ClusterReport, FlowConfig, FlowError, FlowVariant, Problem, RouteReport,
-    RoutedCluster,
+    RoutedCluster, RoutingMode,
 };
-use pacor_grid::ObsMap;
+use pacor_grid::{GridLen, ObsMap, Point};
 use pacor_valves::Cluster;
 use std::time::Instant;
 
@@ -115,108 +115,37 @@ impl PacorFlow {
 
         let clusters_multi = clusters.iter().filter(|c| c.len() >= 2).count();
         let mut next_cluster_id = clusters.len() as u32;
-        let (lm, ordinary): (Vec<_>, Vec<_>) = clusters
-            .into_iter()
-            .partition(|c| c.is_length_matched() && c.len() >= 2);
-
-        // ---- Stage 2: length-matching cluster routing -----------------
-        let lm_input: Vec<(Cluster, Vec<_>)> =
-            lm.into_iter().map(|c| (positions_of(&c), c)).map(|(p, c)| (c, p)).collect();
-        let lm_count = lm_input.len() as u64;
-        pacor_obs::telemetry_stage_enter("lm_routing");
-        let stage = Instant::now();
-        let span = pacor_obs::span_with("stage.lm_routing", &[("clusters", lm_input.len() as u64)]);
-        let lm_out = route_lm_clusters(&mut obs, lm_input, &self.config);
-        drop(span);
-        pacor_obs::counter_sample("astar.expansions");
-        timings.lm_routing = stage.elapsed();
-        pacor_obs::telemetry_stage_exit("lm_routing", lm_count);
-        timings.threads = crate::effective_threads(self.config.thread_count);
-        timings.lm_candidate_tasks = lm_out.candidate_tasks;
-        timings.lm_scoring_tasks = lm_out.scoring_tasks;
-        let mut routed: Vec<RoutedCluster> = lm_out.routed;
-
-        // ---- Stage 3: MST routing (ordinary + failed LM clusters) -----
-        let mut ordinary_input: Vec<(Cluster, Vec<_>)> = ordinary
+        let paired: Vec<(Cluster, Vec<Point>)> = clusters
             .into_iter()
             .map(|c| {
                 let p = positions_of(&c);
                 (c, p)
             })
             .collect();
-        // Failed LM clusters are re-routed as ordinary clusters (their
-        // length-matching flag is dropped — they no longer count as
-        // candidates for matching).
-        for (c, p) in lm_out.failed {
-            let demoted = Cluster::new(c.id(), c.members().to_vec(), false);
-            ordinary_input.push((demoted, p));
-        }
-        let mst_count = ordinary_input.len() as u64;
-        pacor_obs::telemetry_stage_enter("mst_routing");
-        let stage = Instant::now();
-        let span =
-            pacor_obs::span_with("stage.mst_routing", &[("clusters", ordinary_input.len() as u64)]);
-        routed.extend(route_ordinary_clusters(
-            &mut obs,
-            ordinary_input,
-            &mut next_cluster_id,
-            &self.config,
-        ));
-        drop(span);
-        pacor_obs::counter_sample("astar.expansions");
-        timings.mst_routing = stage.elapsed();
-        pacor_obs::telemetry_stage_exit("mst_routing", mst_count);
 
-        // ---- Stage 3.5: Detour-First variant --------------------------
-        if self.config.variant == FlowVariant::DetourFirst {
-            pacor_obs::telemetry_stage_enter("detour");
-            let stage = Instant::now();
-            let span = pacor_obs::span("stage.detour");
-            let mut detoured = 0u64;
-            for rc in routed.iter_mut() {
-                if rc.cluster.is_length_matched() {
-                    detour_cluster(&mut obs, rc, problem.delta, &self.config);
-                    detoured += 1;
-                }
-            }
-            drop(span);
-            timings.detour = stage.elapsed();
-            pacor_obs::telemetry_stage_exit("detour", detoured);
-        }
-
-        // ---- Stages 4–5: escape routing with rip-up/de-clustering -----
-        pacor_obs::telemetry_stage_enter("escape");
-        let stage = Instant::now();
-        let span = pacor_obs::span("stage.escape");
-        let escape_stats = escape_all(
-            &mut obs,
-            &mut routed,
-            &problem.pins,
-            &self.config,
-            &mut next_cluster_id,
-        );
-        drop(span);
-        pacor_obs::counter_sample("astar.expansions");
-        timings.escape = stage.elapsed();
-        pacor_obs::telemetry_stage_exit("escape", routed.len() as u64);
-
-        // ---- Stage 6: final path detouring ----------------------------
-        if self.config.variant != FlowVariant::DetourFirst {
-            pacor_obs::telemetry_stage_enter("detour");
-            let stage = Instant::now();
-            let span = pacor_obs::span("stage.detour");
-            let mut detoured = 0u64;
-            for rc in routed.iter_mut() {
-                if rc.cluster.is_length_matched() && rc.is_complete() {
-                    detour_cluster(&mut obs, rc, problem.delta, &self.config);
-                    detoured += 1;
-                }
-            }
-            drop(span);
-            timings.detour = stage.elapsed();
-            pacor_obs::telemetry_stage_exit("detour", detoured);
-        }
-        pacor_obs::counter_sample("astar.expansions");
+        // ---- Stages 2–6: detailed routing -----------------------------
+        // Flat mode runs the pipeline once over the whole chip; the
+        // hierarchical mode plans corridors on a coarse gcell graph and
+        // runs the same pipeline per region stripe.
+        let (routed, escape_stats) = match self.config.routing_mode {
+            RoutingMode::Flat => run_stage_pipeline(
+                &mut obs,
+                paired,
+                &problem.pins,
+                problem.delta,
+                &self.config,
+                &mut next_cluster_id,
+                &mut timings,
+            ),
+            RoutingMode::Hierarchical => crate::hier::run_hierarchical(
+                &mut obs,
+                paired,
+                problem,
+                &self.config,
+                &mut next_cluster_id,
+                &mut timings,
+            ),
+        };
 
         // ---- Flight-recorder epilogue ---------------------------------
         // Per-cluster outcomes (in routed order, which is deterministic)
@@ -332,6 +261,114 @@ impl PacorFlow {
             clusters,
         }
     }
+}
+
+/// Stages 2–6 of the flow: LM routing, MST routing, the Detour-First
+/// variant's early detour, escape routing with rip-up/de-clustering,
+/// and final detouring — over `obs`, consuming `clusters` paired with
+/// their precomputed member positions.
+///
+/// This is the one detailed pipeline both routing modes execute: flat
+/// mode calls it once over the whole chip, hierarchical mode once per
+/// region stripe (against a windowed obstacle view) plus once per
+/// stitch group, so the two modes can never diverge in stage behavior.
+pub(crate) fn run_stage_pipeline(
+    obs: &mut ObsMap,
+    clusters: Vec<(Cluster, Vec<Point>)>,
+    pins: &[Point],
+    delta: GridLen,
+    config: &FlowConfig,
+    next_cluster_id: &mut u32,
+    timings: &mut crate::FlowMetrics,
+) -> (Vec<RoutedCluster>, EscapeStats) {
+    let (lm_input, mut ordinary_input): (Vec<_>, Vec<_>) = clusters
+        .into_iter()
+        .partition(|(c, _)| c.is_length_matched() && c.len() >= 2);
+
+    // ---- Stage 2: length-matching cluster routing -----------------
+    let lm_count = lm_input.len() as u64;
+    pacor_obs::telemetry_stage_enter("lm_routing");
+    let stage = Instant::now();
+    let span = pacor_obs::span_with("stage.lm_routing", &[("clusters", lm_count)]);
+    let lm_out = route_lm_clusters(obs, lm_input, config);
+    drop(span);
+    pacor_obs::counter_sample("astar.expansions");
+    timings.lm_routing = stage.elapsed();
+    pacor_obs::telemetry_stage_exit("lm_routing", lm_count);
+    timings.threads = crate::effective_threads(config.thread_count);
+    timings.lm_candidate_tasks = lm_out.candidate_tasks;
+    timings.lm_scoring_tasks = lm_out.scoring_tasks;
+    let mut routed: Vec<RoutedCluster> = lm_out.routed;
+
+    // ---- Stage 3: MST routing (ordinary + failed LM clusters) -----
+    // Failed LM clusters are re-routed as ordinary clusters (their
+    // length-matching flag is dropped — they no longer count as
+    // candidates for matching).
+    for (c, p) in lm_out.failed {
+        let demoted = Cluster::new(c.id(), c.members().to_vec(), false);
+        ordinary_input.push((demoted, p));
+    }
+    let mst_count = ordinary_input.len() as u64;
+    pacor_obs::telemetry_stage_enter("mst_routing");
+    let stage = Instant::now();
+    let span = pacor_obs::span_with("stage.mst_routing", &[("clusters", mst_count)]);
+    routed.extend(route_ordinary_clusters(
+        obs,
+        ordinary_input,
+        next_cluster_id,
+        config,
+    ));
+    drop(span);
+    pacor_obs::counter_sample("astar.expansions");
+    timings.mst_routing = stage.elapsed();
+    pacor_obs::telemetry_stage_exit("mst_routing", mst_count);
+
+    // ---- Stage 3.5: Detour-First variant --------------------------
+    if config.variant == FlowVariant::DetourFirst {
+        pacor_obs::telemetry_stage_enter("detour");
+        let stage = Instant::now();
+        let span = pacor_obs::span("stage.detour");
+        let mut detoured = 0u64;
+        for rc in routed.iter_mut() {
+            if rc.cluster.is_length_matched() {
+                detour_cluster(obs, rc, delta, config);
+                detoured += 1;
+            }
+        }
+        drop(span);
+        timings.detour = stage.elapsed();
+        pacor_obs::telemetry_stage_exit("detour", detoured);
+    }
+
+    // ---- Stages 4–5: escape routing with rip-up/de-clustering -----
+    pacor_obs::telemetry_stage_enter("escape");
+    let stage = Instant::now();
+    let span = pacor_obs::span("stage.escape");
+    let escape_stats = escape_all(obs, &mut routed, pins, config, next_cluster_id);
+    drop(span);
+    pacor_obs::counter_sample("astar.expansions");
+    timings.escape = stage.elapsed();
+    pacor_obs::telemetry_stage_exit("escape", routed.len() as u64);
+
+    // ---- Stage 6: final path detouring ----------------------------
+    if config.variant != FlowVariant::DetourFirst {
+        pacor_obs::telemetry_stage_enter("detour");
+        let stage = Instant::now();
+        let span = pacor_obs::span("stage.detour");
+        let mut detoured = 0u64;
+        for rc in routed.iter_mut() {
+            if rc.cluster.is_length_matched() && rc.is_complete() {
+                detour_cluster(obs, rc, delta, config);
+                detoured += 1;
+            }
+        }
+        drop(span);
+        timings.detour = stage.elapsed();
+        pacor_obs::telemetry_stage_exit("detour", detoured);
+    }
+    pacor_obs::counter_sample("astar.expansions");
+
+    (routed, escape_stats)
 }
 
 #[cfg(test)]

@@ -43,6 +43,7 @@ mod detour;
 mod error;
 mod escape_stage;
 mod flow;
+mod hier;
 mod lm_routing;
 mod mst_routing;
 mod physics;
@@ -53,7 +54,8 @@ mod routed;
 mod verify;
 
 pub use bench_suite::{
-    synthesize_params, BenchDesign, DesignParams, FLOW_BENCH_CHIPS, FLOW_SMOKE_CHIP,
+    synthesize_params, BenchDesign, DesignParams, FLOW_BENCH_CHIPS, FLOW_HUGE_CHIP,
+    FLOW_SMOKE_CHIP,
 };
 
 /// Individual flow stages, exposed for advanced composition (custom
@@ -64,7 +66,7 @@ pub mod stages {
     pub use crate::mst_routing::{route_mst_cluster, route_ordinary_clusters};
 }
 
-pub use config::{EscapeSolver, FlowConfig, FlowVariant};
+pub use config::{EscapeSolver, FlowConfig, FlowVariant, RoutingMode};
 pub use detour::detour_cluster;
 pub use error::FlowError;
 pub use flow::PacorFlow;

@@ -1,0 +1,439 @@
+//! Gcell coarsening for hierarchical global routing.
+//!
+//! The hierarchical routing mode (DESIGN §15) plans on a coarse grid
+//! before any detailed routing happens: the chip is tiled into square
+//! *gcells* of a configurable size, and each pair of edge-adjacent
+//! gcells carries a **capacity** — the number of free cell pairs
+//! straddling their shared border, i.e. how many disjoint detailed
+//! routes could cross between them. A congestion-aware Dijkstra over
+//! this graph assigns every cluster a *corridor* from its bounding-box
+//! center to the nearest top or bottom boundary gcell (where the escape
+//! stage's control pins live), committing usage onto every edge it
+//! crosses so later corridors route around saturated borders.
+//!
+//! The graph is tiny (a 256×256 chip at tile 32 is an 8×8 graph), so
+//! the global stage costs microseconds while exposing where detailed
+//! routing will fight: edges whose committed usage exceeds capacity are
+//! reported through [`GcellGrid::overflowed_edges`] and surface as the
+//! `global.overflows` counter.
+
+use crate::{ObsMap, Point, Rect};
+use std::collections::BinaryHeap;
+
+/// Per-edge base cost of one corridor crossing (fixed-point; see
+/// [`GcellGrid::route_to_boundary`]).
+const BASE_COST: u64 = 1000;
+/// Additional cost per unit of overflow past an edge's capacity.
+const OVERFLOW_COST: u64 = 8000;
+
+/// The coarse capacity-tracked gcell graph over an obstacle map.
+///
+/// # Examples
+///
+/// ```
+/// use pacor_grid::{GcellGrid, Grid, ObsMap, Point};
+///
+/// let grid = Grid::new(64, 64)?;
+/// let obs = ObsMap::new(&grid);
+/// let mut gcells = GcellGrid::new(&obs, 16);
+/// assert_eq!((gcells.cols(), gcells.rows()), (4, 4));
+/// let corridor = gcells.route_to_boundary(gcells.gcell_of(Point::new(33, 33)));
+/// assert!(!corridor.is_empty());
+/// # Ok::<(), pacor_grid::GridError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GcellGrid {
+    tile: u32,
+    cols: u32,
+    rows: u32,
+    width: u32,
+    height: u32,
+    /// Capacity of the border between `(c, r)` and `(c+1, r)`, indexed
+    /// `r * (cols-1) + c`.
+    hcap: Vec<u32>,
+    /// Capacity of the border between `(c, r)` and `(c, r+1)`, indexed
+    /// `r * cols + c`.
+    vcap: Vec<u32>,
+    /// Committed corridor crossings per horizontal border.
+    huse: Vec<u32>,
+    /// Committed corridor crossings per vertical border.
+    vuse: Vec<u32>,
+}
+
+impl GcellGrid {
+    /// Coarsens `obs` into gcells of `tile × tile` cells (clamped to at
+    /// least 1; the last row/column may be narrower when the chip size
+    /// is not a multiple of `tile`). Edge capacities count the free
+    /// crossing slots of each shared border in the map's *current*
+    /// blocked state, so valve blocks and already-routed nets reduce
+    /// the budget.
+    pub fn new(obs: &ObsMap, tile: u32) -> Self {
+        let tile = tile.max(1);
+        let (width, height) = (obs.width(), obs.height());
+        let cols = width.div_ceil(tile).max(1);
+        let rows = height.div_ceil(tile).max(1);
+        let mut g = Self {
+            tile,
+            cols,
+            rows,
+            width,
+            height,
+            hcap: vec![0; (cols.saturating_sub(1) * rows) as usize],
+            vcap: vec![0; (cols * rows.saturating_sub(1)) as usize],
+            huse: vec![0; (cols.saturating_sub(1) * rows) as usize],
+            vuse: vec![0; (cols * rows.saturating_sub(1)) as usize],
+        };
+        // A crossing slot is a pair of free cells straddling the border.
+        for r in 0..rows {
+            let rect = g.rect_of(0, r);
+            for c in 0..cols.saturating_sub(1) {
+                let xl = ((c + 1) * tile) as i32 - 1;
+                let xr = xl + 1;
+                let free = (rect.min().y..=rect.max().y)
+                    .filter(|&y| {
+                        !obs.is_blocked(Point::new(xl, y)) && !obs.is_blocked(Point::new(xr, y))
+                    })
+                    .count();
+                g.hcap[(r * (cols - 1) + c) as usize] = free as u32;
+            }
+        }
+        for c in 0..cols {
+            let rect = g.rect_of(c, 0);
+            for r in 0..rows.saturating_sub(1) {
+                let yb = ((r + 1) * tile) as i32 - 1;
+                let yt = yb + 1;
+                let free = (rect.min().x..=rect.max().x)
+                    .filter(|&x| {
+                        !obs.is_blocked(Point::new(x, yb)) && !obs.is_blocked(Point::new(x, yt))
+                    })
+                    .count();
+                g.vcap[(r * cols + c) as usize] = free as u32;
+            }
+        }
+        g
+    }
+
+    /// The configured tile size in cells.
+    pub fn tile(&self) -> u32 {
+        self.tile
+    }
+
+    /// Gcell columns.
+    pub fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// Gcell rows.
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Total gcell count.
+    pub fn len(&self) -> usize {
+        (self.cols * self.rows) as usize
+    }
+
+    /// `true` when the graph has no gcells (impossible for a valid map;
+    /// kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The gcell containing `p` (coordinates are clamped into the chip,
+    /// so an out-of-bounds point maps to the nearest border gcell).
+    pub fn gcell_of(&self, p: Point) -> (u32, u32) {
+        let x = p.x.clamp(0, self.width as i32 - 1) as u32;
+        let y = p.y.clamp(0, self.height as i32 - 1) as u32;
+        (x / self.tile, y / self.tile)
+    }
+
+    /// The gcell column containing chip column `x` (clamped).
+    pub fn column_of(&self, x: i32) -> u32 {
+        (x.clamp(0, self.width as i32 - 1) as u32) / self.tile
+    }
+
+    /// The cell rectangle of gcell `(c, r)` (the last row/column may be
+    /// truncated by the chip boundary).
+    pub fn rect_of(&self, c: u32, r: u32) -> Rect {
+        let min = Point::new((c * self.tile) as i32, (r * self.tile) as i32);
+        let max = Point::new(
+            (((c + 1) * self.tile).min(self.width) as i32) - 1,
+            (((r + 1) * self.tile).min(self.height) as i32) - 1,
+        );
+        Rect::from_corners(min, max)
+    }
+
+    /// The full-chip-height stripe of gcell column `c` — the detailed
+    /// routing region the hierarchical flow assigns to clusters whose
+    /// haloed bounding box fits a single column.
+    pub fn column_rect(&self, c: u32) -> Rect {
+        Rect::from_corners(
+            Point::new((c * self.tile) as i32, 0),
+            Point::new(
+                (((c + 1) * self.tile).min(self.width) as i32) - 1,
+                self.height as i32 - 1,
+            ),
+        )
+    }
+
+    /// Capacity of the border between edge-adjacent gcells `a` and `b`
+    /// (0 when the gcells are not edge-adjacent).
+    pub fn edge_capacity(&self, a: (u32, u32), b: (u32, u32)) -> u32 {
+        self.edge_index(a, b).map_or(0, |(h, i)| {
+            if h {
+                self.hcap[i]
+            } else {
+                self.vcap[i]
+            }
+        })
+    }
+
+    /// Committed corridor crossings of the border between `a` and `b`.
+    pub fn edge_usage(&self, a: (u32, u32), b: (u32, u32)) -> u32 {
+        self.edge_index(a, b).map_or(0, |(h, i)| {
+            if h {
+                self.huse[i]
+            } else {
+                self.vuse[i]
+            }
+        })
+    }
+
+    /// Borders whose committed usage exceeds their capacity — the
+    /// coarse predictor of detailed-routing contention.
+    pub fn overflowed_edges(&self) -> usize {
+        self.huse.iter().zip(&self.hcap).filter(|(u, c)| u > c).count()
+            + self.vuse.iter().zip(&self.vcap).filter(|(u, c)| u > c).count()
+    }
+
+    /// `(horizontal?, index)` of the border between `a` and `b`, if
+    /// they are edge-adjacent.
+    fn edge_index(&self, a: (u32, u32), b: (u32, u32)) -> Option<(bool, usize)> {
+        let ((ax, ay), (bx, by)) = (a, b);
+        if ax >= self.cols || ay >= self.rows || bx >= self.cols || by >= self.rows {
+            return None;
+        }
+        if ay == by && ax.abs_diff(bx) == 1 {
+            let c = ax.min(bx);
+            Some((true, (ay * (self.cols - 1) + c) as usize))
+        } else if ax == bx && ay.abs_diff(by) == 1 {
+            let r = ay.min(by);
+            Some((false, (r * self.cols + ax) as usize))
+        } else {
+            None
+        }
+    }
+
+    /// Congestion cost of crossing one border: a fixed base plus a term
+    /// proportional to the committed-use fraction, plus a steep penalty
+    /// once usage reaches capacity (zero-capacity borders are treated
+    /// as fully overflowed from the first crossing).
+    fn edge_cost(&self, h: bool, i: usize) -> u64 {
+        let (cap, used) = if h {
+            (self.hcap[i], self.huse[i])
+        } else {
+            (self.vcap[i], self.vuse[i])
+        };
+        let (cap64, used64) = (cap as u64, used as u64);
+        let mut cost = BASE_COST + BASE_COST * used64 / cap64.max(1);
+        if used64 >= cap64 {
+            cost += OVERFLOW_COST * (used64 + 1 - cap64);
+        }
+        cost
+    }
+
+    /// Routes a corridor from `from` to the nearest gcell on the top or
+    /// bottom boundary row (where the escape stage's control pins are
+    /// densest), returns the gcell path including both endpoints, and
+    /// commits one unit of usage onto every border it crosses.
+    ///
+    /// Deterministic: Dijkstra with `(cost, node index)` ordering, so
+    /// ties always break toward the smaller row-major gcell index.
+    pub fn route_to_boundary(&mut self, from: (u32, u32)) -> Vec<(u32, u32)> {
+        let (cols, rows) = (self.cols as usize, self.rows as usize);
+        let start = from.1 as usize * cols + from.0 as usize;
+        if from.1 == 0 || from.1 + 1 == self.rows {
+            return vec![from];
+        }
+        let mut dist = vec![u64::MAX; cols * rows];
+        let mut prev = vec![usize::MAX; cols * rows];
+        let mut heap: BinaryHeap<std::cmp::Reverse<(u64, usize)>> = BinaryHeap::new();
+        dist[start] = 0;
+        heap.push(std::cmp::Reverse((0, start)));
+        let mut goal = usize::MAX;
+        while let Some(std::cmp::Reverse((d, node))) = heap.pop() {
+            if d > dist[node] {
+                continue;
+            }
+            let (c, r) = (node % cols, node / cols);
+            if r == 0 || r + 1 == rows {
+                goal = node;
+                break;
+            }
+            let mut relax = |this: &mut Self, nc: usize, nr: usize| {
+                let (h, i) = this
+                    .edge_index((c as u32, r as u32), (nc as u32, nr as u32))
+                    .expect("neighbors are edge-adjacent");
+                let nd = d.saturating_add(this.edge_cost(h, i));
+                let n = nr * cols + nc;
+                if nd < dist[n] {
+                    dist[n] = nd;
+                    prev[n] = node;
+                    heap.push(std::cmp::Reverse((nd, n)));
+                }
+            };
+            if c > 0 {
+                relax(self, c - 1, r);
+            }
+            if c + 1 < cols {
+                relax(self, c + 1, r);
+            }
+            if r > 0 {
+                relax(self, c, r - 1);
+            }
+            if r + 1 < rows {
+                relax(self, c, r + 1);
+            }
+        }
+        if goal == usize::MAX {
+            // Unreachable boundary (single-row graphs return early above,
+            // so this cannot happen on a connected 4-neighbor lattice).
+            return vec![from];
+        }
+        let mut path = Vec::new();
+        let mut node = goal;
+        while node != usize::MAX {
+            path.push(((node % cols) as u32, (node / cols) as u32));
+            node = prev[node];
+        }
+        path.reverse();
+        for pair in path.windows(2) {
+            let (h, i) = self
+                .edge_index(pair[0], pair[1])
+                .expect("corridor steps are edge-adjacent");
+            if h {
+                self.huse[i] += 1;
+            } else {
+                self.vuse[i] += 1;
+            }
+        }
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Grid;
+
+    fn open_map(w: u32, h: u32) -> ObsMap {
+        ObsMap::new(&Grid::new(w, h).expect("valid size"))
+    }
+
+    #[test]
+    fn tiling_covers_the_chip() {
+        let obs = open_map(50, 30);
+        let g = GcellGrid::new(&obs, 16);
+        assert_eq!((g.cols(), g.rows()), (4, 2));
+        assert_eq!(g.len(), 8);
+        assert!(!g.is_empty());
+        // Last column/row are truncated.
+        assert_eq!(g.rect_of(3, 1).max(), Point::new(49, 29));
+        assert_eq!(g.rect_of(0, 0).max(), Point::new(15, 15));
+        assert_eq!(g.gcell_of(Point::new(49, 29)), (3, 1));
+        assert_eq!(g.column_of(16), 1);
+        let stripe = g.column_rect(3);
+        assert_eq!(stripe.min(), Point::new(48, 0));
+        assert_eq!(stripe.max(), Point::new(49, 29));
+    }
+
+    #[test]
+    fn open_borders_have_full_capacity() {
+        let obs = open_map(32, 32);
+        let g = GcellGrid::new(&obs, 16);
+        // Every border is 16 cells of free crossings.
+        assert_eq!(g.edge_capacity((0, 0), (1, 0)), 16);
+        assert_eq!(g.edge_capacity((0, 0), (0, 1)), 16);
+        // Non-adjacent pairs have no border.
+        assert_eq!(g.edge_capacity((0, 0), (1, 1)), 0);
+        assert_eq!(g.edge_usage((0, 0), (1, 0)), 0);
+    }
+
+    #[test]
+    fn blocked_cells_reduce_capacity() {
+        let mut obs = open_map(32, 32);
+        // Wall off most of the vertical border between columns 0 and 1.
+        for y in 0..12 {
+            obs.block(Point::new(15, y));
+        }
+        let g = GcellGrid::new(&obs, 16);
+        assert_eq!(g.edge_capacity((0, 0), (1, 0)), 4);
+        // The other side of the chip is untouched.
+        assert_eq!(g.edge_capacity((0, 1), (1, 1)), 16);
+    }
+
+    #[test]
+    fn corridors_reach_a_boundary_row_and_commit_usage() {
+        let obs = open_map(64, 64);
+        let mut g = GcellGrid::new(&obs, 16);
+        let path = g.route_to_boundary((1, 2));
+        assert_eq!(path.first(), Some(&(1, 2)));
+        let (_, last_r) = *path.last().expect("nonempty corridor");
+        assert!(last_r == 0 || last_r + 1 == g.rows());
+        // Each step consumed one crossing slot.
+        for pair in path.windows(2) {
+            assert_eq!(g.edge_usage(pair[0], pair[1]), 1);
+        }
+        // A gcell already on the boundary routes trivially.
+        assert_eq!(g.route_to_boundary((2, 0)), vec![(2, 0)]);
+    }
+
+    #[test]
+    fn congestion_steers_later_corridors() {
+        let obs = open_map(12, 12);
+        let mut g = GcellGrid::new(&obs, 4);
+        // 3×3 graph with capacity-4 borders: 40 corridors from the center
+        // must overflow its incident borders (total capacity 16) and
+        // swerve through more than one column along the way.
+        let mut columns = std::collections::HashSet::new();
+        for _ in 0..40 {
+            for step in g.route_to_boundary((1, 1)) {
+                columns.insert(step.0);
+            }
+        }
+        assert!(
+            columns.len() > 1,
+            "40 corridors from one gcell never spread: {columns:?}"
+        );
+        assert!(g.overflowed_edges() > 0, "saturation must register");
+    }
+
+    #[test]
+    fn corridors_are_deterministic() {
+        let mut obs = open_map(64, 64);
+        for y in 20..40 {
+            obs.block(Point::new(31, y));
+        }
+        let runs: Vec<Vec<Vec<(u32, u32)>>> = (0..2)
+            .map(|_| {
+                let mut g = GcellGrid::new(&obs, 16);
+                (0..g.cols())
+                    .flat_map(|c| (1..g.rows() - 1).map(move |r| (c, r)))
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|from| g.route_to_boundary(from))
+                    .collect()
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1]);
+    }
+
+    #[test]
+    fn single_gcell_graph_degenerates() {
+        let obs = open_map(8, 8);
+        let mut g = GcellGrid::new(&obs, 32);
+        assert_eq!((g.cols(), g.rows()), (1, 1));
+        assert_eq!(g.route_to_boundary((0, 0)), vec![(0, 0)]);
+        assert_eq!(g.overflowed_edges(), 0);
+    }
+}

@@ -9,9 +9,10 @@
 //!
 //! `<design>` is one of `Chip1 Chip2 S1 S2 S3 S4 S5`; `route` and
 //! `render` additionally accept the dense flow-benchmark chips
-//! (`B0-smoke16 B1-dense24 B2-dense48 B3-dense96`). Anything else is
-//! treated as a path to a problem JSON produced by `pacor synth` (or by
-//! hand — the schema is `pacor::Problem`'s serde form).
+//! (`B0-smoke16 B1-dense24 B2-dense48 B3-dense96 B4-dense256
+//! B5-dense512`). Anything else is treated as a path to a problem JSON
+//! produced by `pacor synth` (or by hand — the schema is
+//! `pacor::Problem`'s serde form).
 //!
 //! `route` options:
 //!
@@ -40,6 +41,14 @@
 //!   edits, warm-started min-cost flow and windowed recovery solves;
 //!   `reference` rebuilds and cold-solves every round — kept for
 //!   ablation, routes the identical result).
+//! * `--routing-mode flat|hierarchical` — one detailed pass over the
+//!   whole chip (default `flat`), or the global-then-detailed split:
+//!   gcell corridor planning, region-parallel detailed routing over
+//!   the `--threads` workers (byte-identical at any count), and a
+//!   stitch/repair pass for cross-region clusters (see DESIGN §15).
+//! * `--gcell-size N` — gcell tile side in grid cells for the
+//!   hierarchical global stage (default 32; a tile ≥ the chip width
+//!   degenerates to the flat flow).
 //! * `--quiet` — suppress the report JSON on stdout (and the
 //!   `--progress` ticker).
 //! * `--stream-out <path|->` — stream live telemetry events as
@@ -59,7 +68,10 @@
 //! treated as file names.
 
 use pacor::route::{NegotiationMode, RipUpPolicy};
-use pacor::{BenchDesign, EscapeSolver, FlowConfig, FlowVariant, PacorFlow, Problem, RouteReport};
+use pacor::{
+    BenchDesign, EscapeSolver, FlowConfig, FlowVariant, PacorFlow, Problem, RouteReport,
+    RoutingMode,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -70,7 +82,7 @@ fn main() {
         Some("table2") => cmd_table2(&args[1..]),
         _ => {
             eprintln!(
-                "usage: pacor synth <design> [seed]\n       pacor route [--threads N] [--trace-out FILE] [--metrics-out FILE] [--report-out FILE] [--stream-out FILE|-] [--progress] [--watchdog BENCH.json] [--ripup-policy full|incremental] [--negotiation-mode serial|parallel] [--escape-solver incremental|reference] [--quiet] <problem.json|design>\n       pacor render [--threads N] <problem.json|design>\n       pacor table2 [--full] [--threads N]"
+                "usage: pacor synth <design> [seed]\n       pacor route [--threads N] [--trace-out FILE] [--metrics-out FILE] [--report-out FILE] [--stream-out FILE|-] [--progress] [--watchdog BENCH.json] [--ripup-policy full|incremental] [--negotiation-mode serial|parallel] [--escape-solver incremental|reference] [--routing-mode flat|hierarchical] [--gcell-size N] [--quiet] <problem.json|design>\n       pacor render [--threads N] <problem.json|design>\n       pacor table2 [--full] [--threads N]"
             );
             2
         }
@@ -104,6 +116,8 @@ struct Options {
     ripup_policy: Option<RipUpPolicy>,
     negotiation_mode: Option<NegotiationMode>,
     escape_solver: Option<EscapeSolver>,
+    routing_mode: Option<RoutingMode>,
+    gcell_size: Option<u32>,
     quiet: bool,
     full: bool,
     positional: Vec<String>,
@@ -164,6 +178,19 @@ fn parse_options(args: &[String], allowed: &[&str]) -> Result<Options, String> {
                     format!("--escape-solver: expected incremental or reference, got {v:?}")
                 })?);
             }
+            "--routing-mode" => {
+                let v = value()?;
+                opts.routing_mode = Some(RoutingMode::parse(&v).ok_or_else(|| {
+                    format!("--routing-mode: expected flat or hierarchical, got {v:?}")
+                })?);
+            }
+            "--gcell-size" => {
+                let v = value()?;
+                opts.gcell_size =
+                    Some(v.parse::<u32>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        format!("--gcell-size: expected a positive integer, got {v:?}")
+                    })?);
+            }
             "--quiet" => opts.quiet = true,
             "--full" => opts.full = true,
             _ => opts.positional.push(a.clone()),
@@ -177,6 +204,7 @@ fn parse_options(args: &[String], allowed: &[&str]) -> Result<Options, String> {
 fn bench_chip_of(name: &str) -> Option<pacor::DesignParams> {
     std::iter::once(pacor::FLOW_SMOKE_CHIP)
         .chain(pacor::FLOW_BENCH_CHIPS)
+        .chain(std::iter::once(pacor::FLOW_HUGE_CHIP))
         .find(|c| c.name == name)
 }
 
@@ -291,6 +319,8 @@ fn cmd_route(args: &[String]) -> i32 {
             "--ripup-policy",
             "--negotiation-mode",
             "--escape-solver",
+            "--routing-mode",
+            "--gcell-size",
             "--quiet",
         ],
     ) {
@@ -315,11 +345,15 @@ fn cmd_route(args: &[String]) -> i32 {
     // flow's own nested session merges upward into it on finish).
     let wants_obs = opts.trace_out.is_some() || opts.metrics_out.is_some();
     let session = wants_obs.then(pacor::obs::Session::begin);
-    let config = FlowConfig::default()
+    let mut config = FlowConfig::default()
         .with_threads(opts.threads)
         .with_ripup_policy(opts.ripup_policy.unwrap_or_default())
         .with_negotiation_mode(opts.negotiation_mode.unwrap_or_default())
-        .with_escape_solver(opts.escape_solver.unwrap_or_default());
+        .with_escape_solver(opts.escape_solver.unwrap_or_default())
+        .with_routing_mode(opts.routing_mode.unwrap_or_default());
+    if let Some(gcell) = opts.gcell_size {
+        config = config.with_gcell_size(gcell);
+    }
     if opts.report_out.is_some() {
         pacor::obs::flight_install(config.recorder_config());
     }

@@ -1,0 +1,228 @@
+//! Hierarchical-routing guarantees (DESIGN §15): with a single region
+//! the mode is **byte-identical** to the flat flow — same report, same
+//! geometry, same observability stream — and with many regions it is
+//! deterministic at any worker-thread count, design-rule clean, and as
+//! complete as the flat flow on the bench chips.
+
+use pacor_repro::grid::Point;
+use pacor_repro::pacor::{
+    obs, synthesize_params, verify_layout, DesignParams, FlowConfig, FlowMetrics, PacorFlow,
+    RouteReport, RoutedCluster, RoutingMode,
+};
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::time::Duration;
+
+/// Small enough that the default 64-cell gcell covers the whole chip:
+/// the hierarchy degenerates to exactly one region.
+const SMALL: DesignParams = DesignParams {
+    name: "H0-small24",
+    width: 24,
+    height: 24,
+    valves: 14,
+    control_pins: 30,
+    obstacles: 40,
+    multi_clusters: 6,
+    pairs_only: false,
+};
+
+/// Three full-height stripes at gcell 16 — clusters defer across
+/// borders, the stitch waves and the repair pass all run.
+const DENSE48: DesignParams = DesignParams {
+    name: "H1-dense48",
+    width: 48,
+    height: 48,
+    valves: 36,
+    control_pins: 84,
+    obstacles: 130,
+    multi_clusters: 14,
+    pairs_only: false,
+};
+
+/// Serialized report with the wall-clock fields (and the machine-local
+/// parallelism info they carry) zeroed out, as in `tests/determinism.rs`.
+fn normalized(report: &RouteReport) -> String {
+    let mut r = report.clone();
+    r.runtime = Duration::ZERO;
+    r.metrics = FlowMetrics {
+        threads: 0,
+        lm_candidate_tasks: r.metrics.lm_candidate_tasks,
+        lm_scoring_tasks: r.metrics.lm_scoring_tasks,
+        counters: r.metrics.counters.clone(),
+        ..FlowMetrics::default()
+    };
+    serde_json::to_string(&r).expect("reports serialize")
+}
+
+fn geometry(routed: &[RoutedCluster]) -> String {
+    format!("{routed:?}")
+}
+
+/// Runs the flow capturing the metrics session and the deterministic
+/// telemetry stream alongside the report and geometry.
+fn run_full(
+    params: DesignParams,
+    config: FlowConfig,
+    seed: u64,
+) -> (String, String, String, Vec<String>) {
+    let problem = synthesize_params(params, seed);
+    let sink = obs::MemorySink::new();
+    let lines = sink.lines();
+    obs::telemetry_install(obs::TelemetryConfig::deterministic(), vec![Box::new(sink)]);
+    let session = obs::Session::begin();
+    let (report, routed) = PacorFlow::new(config)
+        .run_detailed(&problem)
+        .expect("synthesized designs are valid");
+    let metrics = obs::metrics_json(&session.finish());
+    obs::telemetry_take()
+        .expect("telemetry installed")
+        .expect("a memory sink cannot fail");
+    let stream = lines.lock().expect("telemetry sink lock").clone();
+    (normalized(&report), geometry(&routed), metrics, stream)
+}
+
+/// Masks the `threads` value of the `flow_started` event — the stream
+/// names the configured thread count by design; every behavioral byte
+/// after it must still match across thread counts.
+fn mask_threads(mut lines: Vec<String>) -> Vec<String> {
+    let first = lines.first_mut().expect("stream is non-empty");
+    assert!(first.contains("\"kind\":\"flow_started\""), "got {first}");
+    let key = "\"threads\":";
+    let start = first.find(key).expect("flow_started carries threads") + key.len();
+    let len = first[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .count();
+    first.replace_range(start..start + len, "*");
+    lines
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// One region ⇒ the hierarchical mode runs the identical stage
+    /// pipeline with the identical observability — reports, geometry,
+    /// merged metrics, and the raw telemetry stream all byte-match the
+    /// flat flow on arbitrary seeds.
+    #[test]
+    fn single_region_matches_flat_byte_for_byte(seed in 0u64..u64::MAX) {
+        let flat = run_full(SMALL, FlowConfig::default(), seed);
+        let hier = run_full(
+            SMALL,
+            FlowConfig::default().with_routing_mode(RoutingMode::Hierarchical),
+            seed,
+        );
+        prop_assert_eq!(&flat.0, &hier.0, "report diverged");
+        prop_assert_eq!(&flat.1, &hier.1, "geometry diverged");
+        prop_assert_eq!(&flat.2, &hier.2, "metrics diverged");
+        prop_assert_eq!(&flat.3, &hier.3, "telemetry diverged");
+    }
+
+    /// Multi-region hierarchical output is design-rule clean for
+    /// arbitrary seeds: no shared cells, no obstacle crossings, every
+    /// escape on a real pin, matched clusters within δ.
+    #[test]
+    fn multi_region_layout_is_verify_clean(seed in 0u64..u64::MAX) {
+        let problem = synthesize_params(DENSE48, seed);
+        let config = FlowConfig::default()
+            .with_routing_mode(RoutingMode::Hierarchical)
+            .with_gcell_size(16);
+        let (report, routed) = PacorFlow::new(config)
+            .run_detailed(&problem)
+            .expect("synthesized designs are valid");
+        let violations = verify_layout(&problem, &routed);
+        prop_assert!(violations.is_empty(), "violations: {:?}", violations);
+        // Report-internal consistency, as in tests/flow_properties.rs.
+        prop_assert!(report.valves_routed <= report.valves_total);
+        let sum: u64 = report.clusters.iter().map(|c| c.total_length).sum();
+        prop_assert_eq!(sum, report.total_length);
+        for c in &report.clusters {
+            if c.matched {
+                prop_assert!(c.complete);
+                prop_assert!(c.mismatch.expect("matched implies lengths") <= problem.delta);
+            }
+        }
+    }
+}
+
+#[test]
+fn multi_region_is_thread_count_invariant() {
+    // Regions fan out over the worker pool; the stitch waves do too.
+    // Every byte of the result — report, geometry, merged metrics,
+    // telemetry stream — must be identical at 1, 2, 4, and 8 threads.
+    let config = FlowConfig::default()
+        .with_routing_mode(RoutingMode::Hierarchical)
+        .with_gcell_size(16);
+    let baseline = run_full(DENSE48, config.with_threads(1), 42);
+    let base_stream = mask_threads(baseline.3.clone());
+    for threads in [2, 4, 8] {
+        let multi = run_full(DENSE48, config.with_threads(threads), 42);
+        assert_eq!(baseline.0, multi.0, "report differs at {threads} threads");
+        assert_eq!(baseline.1, multi.1, "geometry differs at {threads} threads");
+        assert_eq!(baseline.2, multi.2, "metrics differ at {threads} threads");
+        assert_eq!(
+            base_stream,
+            mask_threads(multi.3),
+            "telemetry differs at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn multi_region_completes_like_flat() {
+    let problem = synthesize_params(DENSE48, 42);
+    let flat = PacorFlow::new(FlowConfig::default())
+        .run(&problem)
+        .expect("valid");
+    let hier = PacorFlow::new(
+        FlowConfig::default()
+            .with_routing_mode(RoutingMode::Hierarchical)
+            .with_gcell_size(16),
+    )
+    .run(&problem)
+    .expect("valid");
+    assert_eq!(
+        hier.completion_rate(),
+        flat.completion_rate(),
+        "hierarchical completion fell behind flat"
+    );
+    // The global stage planned corridors and built regions.
+    assert!(hier.metrics.counter("global.corridors") > 0);
+    assert!(hier.metrics.counter("global.regions") > 1, "expected multiple regions");
+}
+
+#[test]
+fn escape_pins_are_unique_across_regions() {
+    // Regions race for boundary pins in parallel; the partition hands
+    // each stripe only its own pins, so no two clusters may ever share
+    // one — this is the cross-region stitching contract.
+    let problem = synthesize_params(DENSE48, 7);
+    let (_, routed) = PacorFlow::new(
+        FlowConfig::default()
+            .with_routing_mode(RoutingMode::Hierarchical)
+            .with_gcell_size(16),
+    )
+    .run_detailed(&problem)
+    .expect("valid");
+    let mut pins: HashSet<Point> = HashSet::new();
+    for rc in &routed {
+        if let Some((_, pin)) = &rc.escape {
+            assert!(pins.insert(*pin), "pin {pin} claimed twice");
+        }
+    }
+}
+
+#[test]
+#[ignore = "chip-scale; run with --release -- --ignored"]
+fn b4_dense256_hierarchical_completes_and_verifies() {
+    let problem = synthesize_params(pacor_bench::FLOW_BENCH_CHIPS[3], pacor_bench::BENCH_SEED);
+    let (report, routed) = PacorFlow::new(
+        FlowConfig::default()
+            .with_routing_mode(RoutingMode::Hierarchical)
+            .with_threads(4),
+    )
+    .run_detailed(&problem)
+    .expect("valid");
+    assert_eq!(report.completion_rate(), 1.0, "256² must fully route");
+    assert!(verify_layout(&problem, &routed).is_empty());
+}

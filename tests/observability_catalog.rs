@@ -7,7 +7,7 @@
 
 use pacor_repro::pacor::obs::{self, TraceEvent};
 use pacor_repro::pacor::route::{NegotiationMode, RipUpPolicy};
-use pacor_repro::pacor::{synthesize_params, DesignParams, FlowConfig, PacorFlow};
+use pacor_repro::pacor::{synthesize_params, DesignParams, FlowConfig, PacorFlow, RoutingMode};
 use std::collections::BTreeSet;
 
 #[test]
@@ -40,6 +40,16 @@ fn every_emitted_name_is_catalogued() {
             .run(&problem)
             .expect("dense chip routes");
     }
+    // A multi-region hierarchical run (gcell smaller than the chip), so
+    // the `global.*` counters/histogram and the global/regions/stitch/
+    // repair emit sites are guarded too.
+    PacorFlow::new(
+        config
+            .with_routing_mode(RoutingMode::Hierarchical)
+            .with_gcell_size(8),
+    )
+    .run(&problem)
+    .expect("dense chip routes hierarchically");
     let log = obs::flight_take().expect("recorder installed");
     obs::telemetry_take()
         .expect("telemetry installed")
@@ -78,7 +88,10 @@ fn every_emitted_name_is_catalogued() {
     names.extend(kinds.iter().map(|k| k.to_string()));
     names.extend(telemetry_kinds);
     assert!(
-        names.contains("negotiate.ripups") && names.contains("rip_up"),
+        names.contains("negotiate.ripups")
+            && names.contains("rip_up")
+            && names.contains("global.regions")
+            && names.contains("global.corridor_len"),
         "smoke flow too tame to guard the catalog: {names:?}"
     );
 
