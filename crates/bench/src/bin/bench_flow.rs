@@ -2,7 +2,7 @@
 //! policies and both negotiation modes, writing `BENCH_flow.json`.
 //!
 //! ```text
-//! bench_flow [--out FILE] [--repeat N] [--smoke] [--huge] [--chip NAME] [--events]
+//! bench_flow [--out FILE] [--repeat N] [--smoke] [--huge] [--chip NAME] [--events] [--ledger FILE]
 //! ```
 //!
 //! Runs the full flow (clustering → LM routing → MST routing → escape →
@@ -42,16 +42,18 @@
 //! stream installed, reporting the event count and asserting the
 //! stream's `round_progress` events match the entry's
 //! `negotiate.rounds` counter. The JSON schema is unchanged.
+//!
+//! `--ledger FILE` additionally appends one `pacor-rundigest-v1` line
+//! per entry (from the last timed repeat) to the given run-ledger
+//! JSONL, so bench runs accumulate history that `tables compare` can
+//! diff (see docs/OBSERVABILITY.md §"Run digests").
 
 use pacor::route::{NegotiationMode, RipUpPolicy};
 use pacor::{DesignParams, RoutingMode};
 use pacor_bench::{
-    collect_telemetry, fill_scaling_efficiency, run_flow_bench, FlowBenchEntry, FlowBenchReport,
-    BENCH_SEED, FLOW_BENCH_CHIPS, FLOW_HUGE_CHIP, FLOW_SMOKE_CHIP,
+    collect_telemetry, fill_scaling_efficiency, run_flow_bench_with_digest, FlowBenchEntry,
+    FlowBenchReport, BENCH_SEED, FLOW_BENCH_CHIPS, FLOW_HUGE_CHIP, FLOW_SMOKE_CHIP, LARGE_WIDTH,
 };
-
-/// Chips at or above this width get the reduced large-chip schedule.
-const LARGE_WIDTH: u32 = 256;
 
 fn main() {
     let mut out = String::from("BENCH_flow.json");
@@ -60,12 +62,17 @@ fn main() {
     let mut huge = false;
     let mut events = false;
     let mut chip_filter: Option<String> = None;
+    let mut ledger: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--out" => match args.next() {
                 Some(v) => out = v,
                 None => return usage("--out requires a value"),
+            },
+            "--ledger" => match args.next() {
+                Some(v) => ledger = Some(v),
+                None => return usage("--ledger requires a value"),
             },
             "--repeat" => match args.next().and_then(|v| v.parse::<u32>().ok()) {
                 Some(n) if n >= 1 => repeat = n,
@@ -102,6 +109,7 @@ fn main() {
         repeat,
         entries: Vec::new(),
     };
+    let mut digests: Vec<pacor::obs::RunDigest> = Vec::new();
     for chip in chips {
         let mut chip_entries: Vec<FlowBenchEntry> = Vec::new();
         if chip.width >= LARGE_WIDTH {
@@ -112,7 +120,7 @@ fn main() {
                 (RoutingMode::Hierarchical, 4),
             ];
             for (routing, threads) in configs {
-                let entry = run_flow_bench(
+                let (entry, digest) = run_flow_bench_with_digest(
                     chip,
                     RipUpPolicy::Incremental,
                     NegotiationMode::Serial,
@@ -123,6 +131,7 @@ fn main() {
                 );
                 print_entry(&entry, String::new());
                 chip_entries.push(entry);
+                digests.push(digest);
             }
         } else {
             let configs = [
@@ -135,7 +144,7 @@ fn main() {
                     // Counter totals come from the flow's own per-run obs
                     // session (carried in the report), so entries cannot
                     // bleed.
-                    let entry = run_flow_bench(
+                    let (entry, digest) = run_flow_bench_with_digest(
                         chip,
                         policy,
                         mode,
@@ -164,6 +173,7 @@ fn main() {
                     };
                     print_entry(&entry, events_col);
                     chip_entries.push(entry);
+                    digests.push(digest);
                 }
             }
         }
@@ -179,11 +189,25 @@ fn main() {
     }
 
     let json = serde_json::to_string_pretty(&report).expect("reports serialize");
-    if let Err(e) = pacor::obs::write_atomic(&out, json + "\n") {
+    if let Err(e) = pacor::obs::atomic_write(&out, json + "\n") {
         eprintln!("bench_flow: writing {out}: {e}");
         std::process::exit(1);
     }
     eprintln!("bench_flow: wrote {out}");
+    if let Some(path) = ledger {
+        let path = std::path::Path::new(&path);
+        for digest in &digests {
+            if let Err(e) = pacor::obs::ledger_append(path, digest) {
+                eprintln!("bench_flow: appending to ledger {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+        eprintln!(
+            "bench_flow: appended {} digest(s) to {}",
+            digests.len(),
+            path.display()
+        );
+    }
 }
 
 fn print_entry(entry: &FlowBenchEntry, events_col: String) {
@@ -218,7 +242,7 @@ fn print_entry(entry: &FlowBenchEntry, events_col: String) {
 
 fn usage(err: &str) {
     eprintln!(
-        "bench_flow: {err}\nusage: bench_flow [--out FILE] [--repeat N] [--smoke] [--huge] [--chip NAME] [--events]"
+        "bench_flow: {err}\nusage: bench_flow [--out FILE] [--repeat N] [--smoke] [--huge] [--chip NAME] [--events] [--ledger FILE]"
     );
     std::process::exit(2);
 }

@@ -73,7 +73,7 @@ fn main() {
 
     if let Some(path) = &trace_out {
         let json = pacor::obs::chrome_trace(&report);
-        if let Err(e) = pacor::obs::write_atomic(path, json) {
+        if let Err(e) = pacor::obs::atomic_write(path, json) {
             eprintln!("profile_flow: writing {path}: {e}");
             std::process::exit(1);
         }

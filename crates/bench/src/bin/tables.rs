@@ -8,6 +8,8 @@
 //! cargo run --release -p pacor-bench --bin tables -- stages [--full]
 //! cargo run --release -p pacor-bench --bin tables -- heatmap [design]
 //! cargo run --release -p pacor-bench --bin tables -- all [--full]
+//! cargo run --release -p pacor-bench --bin tables -- compare BASE.json NEW.json [--out FILE]
+//! cargo run --release -p pacor-bench --bin tables -- regress BASELINE.json [--chip NAME] [--current FILE]
 //! ```
 //!
 //! `--full` includes the Chip1/Chip2-scale designs (minutes instead of
@@ -21,12 +23,28 @@
 //! `heatmap` runs one design (default S5) with the flight recorder
 //! installed and renders the ASCII congestion heatmap plus a post-mortem
 //! summary.
+//!
+//! `compare` diffs two `pacor-rundigest-v1` files (from `pacor-cli
+//! route --digest-out`), printing the ranked span/quality/counter
+//! tables of the structural differ and exiting 1 when any difference
+//! is beyond the noise thresholds; `--out FILE` additionally writes
+//! the machine-readable `pacor-rundiff-v1` document.
+//!
+//! `regress` is the Rust reimplementation of the old inline-Python
+//! `make bench-check` gate: it re-runs one benchmark chip's schedule
+//! (or reads a prior `bench_flow` output via `--current FILE`) and
+//! checks it against the committed BENCH_flow.json baseline —
+//! deterministic-field equality for every entry, the 25%-and-25ms
+//! stage and escape sub-stage budgets for small chips, and the
+//! completion / 4-thread-presence / scaling gates for chips at or
+//! above the large tier. Exits 1 on any failure.
 
-use pacor::route::NegotiationMode;
-use pacor::{BenchDesign, FlowConfig, FlowVariant, RouteReport};
+use pacor::route::{NegotiationMode, RipUpPolicy};
+use pacor::{BenchDesign, FlowConfig, FlowVariant, RouteReport, RoutingMode};
 use pacor_bench::{
-    metrics_header, metrics_row, run_config, run_variant, table1_header, table1_row, StageMs,
-    BENCH_SEED,
+    fill_scaling_efficiency, metrics_header, metrics_row, run_config, run_flow_bench, run_variant,
+    table1_header, table1_row, FlowBenchEntry, FlowBenchReport, StageMs, BENCH_SEED,
+    FLOW_BENCH_CHIPS, FLOW_HUGE_CHIP, LARGE_WIDTH,
 };
 
 fn main() {
@@ -43,6 +61,8 @@ fn main() {
         "sweep" => sweep(),
         "stages" => stages(full),
         "heatmap" => heatmap(args.get(1).map(String::as_str)),
+        "compare" => compare(&args[1..]),
+        "regress" => regress(&args[1..]),
         "all" => {
             table1();
             println!();
@@ -56,11 +76,323 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment {other:?}; use table1|table2|fig3|ablation|stages|sweep|heatmap|all"
+                "unknown experiment {other:?}; use table1|table2|fig3|ablation|stages|sweep|heatmap|compare|regress|all"
             );
             std::process::exit(2);
         }
     }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("tables: {msg}");
+    std::process::exit(2);
+}
+
+/// `compare BASE.json NEW.json [--out FILE]` — structural diff of two
+/// run digests, exit 1 when any difference is beyond noise.
+fn compare(args: &[String]) {
+    let mut files: Vec<&str> = Vec::new();
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => match it.next() {
+                Some(v) => out = Some(v.clone()),
+                None => die("compare: --out requires a value"),
+            },
+            flag if flag.starts_with("--") => {
+                die(&format!("compare: unknown flag {flag:?}"));
+            }
+            path => files.push(path),
+        }
+    }
+    let [base_path, new_path] = files[..] else {
+        die("usage: tables compare BASE.json NEW.json [--out FILE]");
+    };
+    let load = |path: &str| -> pacor::obs::RunDigest {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("compare: reading {path}: {e}")));
+        pacor::obs::RunDigest::from_json(&text)
+            .unwrap_or_else(|e| die(&format!("compare: parsing {path}: {e}")))
+    };
+    let base = load(base_path);
+    let new = load(new_path);
+    let diff = pacor::obs::diff_runs(&base, &new);
+    if let Some(path) = out {
+        if let Err(e) = pacor::obs::atomic_write(&path, pacor::obs::diff_json(&diff)) {
+            die(&format!("compare: writing {path}: {e}"));
+        }
+        eprintln!("compare: wrote {path}");
+    }
+    print!("{}", pacor::obs::render_diff(&diff, 12));
+    if diff.has_verdicts() {
+        std::process::exit(1);
+    }
+}
+
+/// A named accessor into one [`FlowBenchEntry`] field.
+type FieldOf<T> = (&'static str, fn(&FlowBenchEntry) -> T);
+
+/// The deterministic per-entry fields `regress` holds byte-equal
+/// against the baseline, mirroring the old Makefile Python gate.
+const REGRESS_FIELDS: [FieldOf<u64>; 7] = [
+    ("rounds", |e| e.rounds),
+    ("ripups", |e| e.ripups),
+    ("scratch_resets", |e| e.scratch_resets),
+    ("speculative", |e| e.speculative),
+    ("conflicts", |e| e.conflicts),
+    ("serial_fallbacks", |e| e.serial_fallbacks),
+    ("total_length", |e| e.total_length),
+];
+
+/// The small-chip stage budgets, as (name, accessor) pairs.
+const REGRESS_STAGES: [FieldOf<f64>; 5] = [
+    ("clustering", |e| e.stage_ms.clustering),
+    ("lm_routing", |e| e.stage_ms.lm_routing),
+    ("mst_routing", |e| e.stage_ms.mst_routing),
+    ("escape", |e| e.stage_ms.escape),
+    ("detour", |e| e.stage_ms.detour),
+];
+
+/// The escape sub-stage budgets, as (name, accessor) pairs.
+const REGRESS_ESCAPE: [FieldOf<f64>; 5] = [
+    ("escape.net_build", |e| e.escape_ms.net_build),
+    ("escape.net_solve", |e| e.escape_ms.net_solve),
+    ("escape.phase1", |e| e.escape_ms.phase1),
+    ("escape.phase2", |e| e.escape_ms.phase2),
+    ("escape.phase3", |e| e.escape_ms.phase3),
+];
+
+fn entry_key(e: &FlowBenchEntry) -> (String, String, String, String, usize) {
+    (
+        e.chip.clone(),
+        e.policy.clone(),
+        e.mode.clone(),
+        e.routing.clone(),
+        e.threads,
+    )
+}
+
+/// Re-runs one chip's `bench_flow` schedule in-process at repeat 1 —
+/// the same matrix the binary would produce for `--chip NAME`.
+fn bench_chip_entries(chip_name: &str) -> Vec<FlowBenchEntry> {
+    let chip = FLOW_BENCH_CHIPS
+        .iter()
+        .chain(std::iter::once(&FLOW_HUGE_CHIP))
+        .find(|c| c.name == chip_name)
+        .copied()
+        .unwrap_or_else(|| die(&format!("regress: no benchmark chip named {chip_name:?}")));
+    let mut entries = Vec::new();
+    if chip.width >= LARGE_WIDTH {
+        for (routing, threads) in [
+            (RoutingMode::Flat, 1usize),
+            (RoutingMode::Hierarchical, 1),
+            (RoutingMode::Hierarchical, 4),
+        ] {
+            entries.push(run_flow_bench(
+                chip,
+                RipUpPolicy::Incremental,
+                NegotiationMode::Serial,
+                routing,
+                threads,
+                BENCH_SEED,
+                1,
+            ));
+        }
+    } else {
+        for policy in [RipUpPolicy::Full, RipUpPolicy::Incremental] {
+            for (mode, threads) in [
+                (NegotiationMode::Serial, 1usize),
+                (NegotiationMode::Parallel, 2),
+                (NegotiationMode::Parallel, 4),
+            ] {
+                entries.push(run_flow_bench(
+                    chip,
+                    policy,
+                    mode,
+                    RoutingMode::Flat,
+                    threads,
+                    BENCH_SEED,
+                    1,
+                ));
+            }
+        }
+    }
+    fill_scaling_efficiency(&mut entries);
+    entries
+}
+
+/// `regress BASELINE.json [--chip NAME] [--current FILE]` — the
+/// determinism and performance-budget gate formerly inlined as Python
+/// in the Makefile's `bench-check` recipe. Same rules, same pass/fail:
+///
+/// * every fresh entry must match its baseline entry (keyed by chip ×
+///   policy × mode × routing × threads) on the deterministic fields,
+///   including exact `completion_rate` equality, with matching entry
+///   counts;
+/// * chips below [`LARGE_WIDTH`] get the per-stage and escape
+///   sub-stage wall-clock budgets (fail when > 25% AND > 25 ms over
+///   baseline — [`pacor::obs::timing_regressed`]);
+/// * chips at or above it get the large-tier gates instead: full
+///   completion everywhere, the 4-thread hierarchical entry must
+///   exist, and `scaling_efficiency >= 2.0` when that entry's own
+///   `host_cpus >= 4` (skipped, with a note, on hosts that cannot
+///   parallelize).
+fn regress(args: &[String]) {
+    let mut baseline_path: Option<&str> = None;
+    let mut chip = "B1-dense24".to_string();
+    let mut current_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--chip" => match it.next() {
+                Some(v) => chip = v.clone(),
+                None => die("regress: --chip requires a value"),
+            },
+            "--current" => match it.next() {
+                Some(v) => current_path = Some(v.clone()),
+                None => die("regress: --current requires a value"),
+            },
+            flag if flag.starts_with("--") => die(&format!("regress: unknown flag {flag:?}")),
+            path if baseline_path.is_none() => baseline_path = Some(path),
+            extra => die(&format!("regress: unexpected argument {extra:?}")),
+        }
+    }
+    let Some(baseline_path) = baseline_path else {
+        die("usage: tables regress BASELINE.json [--chip NAME] [--current FILE]");
+    };
+    // A typo'd chip name is a usage error (exit 2); a known chip with
+    // no baseline rows is a gate failure (exit 1) further down.
+    if !FLOW_BENCH_CHIPS
+        .iter()
+        .chain(std::iter::once(&FLOW_HUGE_CHIP))
+        .any(|c| c.name == chip)
+    {
+        die(&format!("regress: no benchmark chip named {chip:?}"));
+    }
+    let load_report = |path: &str| -> FlowBenchReport {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("regress: reading {path}: {e}")));
+        serde_json::from_str(&text)
+            .unwrap_or_else(|e| die(&format!("regress: parsing {path}: {e}")))
+    };
+    let baseline: Vec<FlowBenchEntry> = load_report(baseline_path)
+        .entries
+        .into_iter()
+        .filter(|e| e.chip == chip)
+        .collect();
+    if baseline.is_empty() {
+        fail(&format!("baseline has no {chip} entries"));
+    }
+    let current: Vec<FlowBenchEntry> = match &current_path {
+        Some(path) => load_report(path).entries,
+        None => bench_chip_entries(&chip),
+    };
+
+    let mut failures: Vec<String> = Vec::new();
+    if current.len() != baseline.len() {
+        failures.push(format!(
+            "entry count differs: current {} vs baseline {}",
+            current.len(),
+            baseline.len()
+        ));
+    }
+    for e in &current {
+        let key = entry_key(e);
+        let Some(base) = baseline.iter().find(|b| entry_key(b) == key) else {
+            failures.push(format!("baseline has no entry for {key:?}"));
+            continue;
+        };
+        for (field, get) in REGRESS_FIELDS {
+            if get(base) != get(e) {
+                failures.push(format!(
+                    "drift vs baseline: {key:?} {field}: {} -> {}",
+                    get(base),
+                    get(e)
+                ));
+            }
+        }
+        // Exact equality, like the Python gate's `!=` on parsed floats.
+        if base.completion_rate != e.completion_rate {
+            failures.push(format!(
+                "drift vs baseline: {key:?} completion_rate: {} -> {}",
+                base.completion_rate, e.completion_rate
+            ));
+        }
+        if e.width < LARGE_WIDTH {
+            for (stage, get) in REGRESS_STAGES.iter().chain(REGRESS_ESCAPE.iter()) {
+                if pacor::obs::timing_regressed(get(base), get(e)) {
+                    failures.push(format!(
+                        "budget blown (>25% and >25ms over baseline): {key:?} {stage}: \
+                         {:.1} ms -> {:.1} ms",
+                        get(base),
+                        get(e)
+                    ));
+                }
+            }
+        }
+    }
+    let large: Vec<&FlowBenchEntry> =
+        current.iter().filter(|e| e.width >= LARGE_WIDTH).collect();
+    let mut scaling_note = String::new();
+    if !large.is_empty() {
+        for e in &large {
+            if e.completion_rate != 1.0 {
+                failures.push(format!(
+                    "{chip} must fully route: {:?} completed {:.1}%",
+                    entry_key(e),
+                    e.completion_rate * 100.0
+                ));
+            }
+        }
+        let par = large
+            .iter()
+            .find(|e| e.routing == "hierarchical" && e.threads == 4);
+        match par {
+            None => failures.push(format!(
+                "{chip} tier is missing the 4-thread hierarchical entry"
+            )),
+            Some(e) if e.host_cpus >= 4 => {
+                if e.scaling_efficiency < 2.0 {
+                    failures.push(format!(
+                        "region-parallel speedup below 2x on a {}-CPU host: {:.2}x",
+                        e.host_cpus, e.scaling_efficiency
+                    ));
+                } else {
+                    scaling_note = format!("scaling gate passed ({:.2}x)", e.scaling_efficiency);
+                }
+            }
+            Some(e) => {
+                scaling_note = format!(
+                    "scaling gate skipped (host_cpus={} cannot parallelize)",
+                    e.host_cpus
+                );
+            }
+        }
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("regress: FAIL: {f}");
+        }
+        fail(&format!("{} check(s) failed for {chip}", failures.len()));
+    }
+    if large.is_empty() {
+        println!(
+            "regress: {} {chip} entries match the baseline on {} deterministic fields, \
+             {} stage budgets and {} escape sub-stage budgets",
+            current.len(),
+            REGRESS_FIELDS.len() + 1,
+            REGRESS_STAGES.len(),
+            REGRESS_ESCAPE.len()
+        );
+    } else {
+        println!("regress: {chip} tier matches the baseline; {scaling_note}");
+    }
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("regress: {msg}");
+    std::process::exit(1);
 }
 
 /// Table 1: benchmark design parameters.

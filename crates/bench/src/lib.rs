@@ -21,6 +21,13 @@ use serde::{Deserialize, Serialize};
 /// The seed every reported experiment uses, for reproducibility.
 pub const BENCH_SEED: u64 = 42;
 
+/// Chips at or above this width get the reduced large-chip benchmark
+/// schedule (routing-mode comparison at capped repeats instead of the
+/// full policy × mode matrix), and the large-tier rules in
+/// `tables regress` (completion + scaling gates instead of per-stage
+/// wall-clock budgets).
+pub const LARGE_WIDTH: u32 = 256;
+
 /// Runs one design under one variant and returns its report.
 ///
 /// # Panics
@@ -342,6 +349,27 @@ pub fn run_flow_bench(
     seed: u64,
     repeat: u32,
 ) -> FlowBenchEntry {
+    run_flow_bench_with_digest(params, policy, mode, routing, threads, seed, repeat).0
+}
+
+/// [`run_flow_bench`], additionally returning the `pacor-rundigest-v1`
+/// record of the *last* timed repeat (deterministic fields are
+/// repeat-invariant; the wall-clock facts are that repeat's). This is
+/// what `bench_flow --ledger` appends to the run ledger so bench
+/// entries can be diffed with `tables compare`.
+///
+/// # Panics
+///
+/// Same as [`run_flow_bench`].
+pub fn run_flow_bench_with_digest(
+    params: DesignParams,
+    policy: RipUpPolicy,
+    mode: NegotiationMode,
+    routing: RoutingMode,
+    threads: usize,
+    seed: u64,
+    repeat: u32,
+) -> (FlowBenchEntry, pacor::obs::RunDigest) {
     let problem = synthesize_params(params, seed);
     let config = FlowConfig::default()
         .with_ripup_policy(policy)
@@ -352,6 +380,7 @@ pub fn run_flow_bench(
         .run(&problem)
         .expect("synthesized designs are valid");
     let mut entry: Option<FlowBenchEntry> = None;
+    let mut digest: Option<pacor::obs::RunDigest> = None;
     for _ in 0..repeat.max(1) {
         // An outer observability session captures the run's spans (the
         // flow's nested session merges upward into it on finish), so the
@@ -361,6 +390,7 @@ pub fn run_flow_bench(
             .run(&problem)
             .expect("synthesized designs are valid");
         let obs = session.finish();
+        digest = Some(pacor::run_digest(&problem, &config, &report, &obs));
         let negotiate_ms = span_ms_of(&obs, "negotiate");
         let stage_ms = StageMs::of(&obs);
         let escape_ms = EscapeMs::of(&obs);
@@ -401,7 +431,7 @@ pub fn run_flow_bench(
             }
         }
     }
-    entry.expect("repeat >= 1")
+    (entry.expect("repeat >= 1"), digest.expect("repeat >= 1"))
 }
 
 /// Runs the flow once with a deterministic in-memory telemetry stream

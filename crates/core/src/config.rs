@@ -57,6 +57,14 @@ impl EscapeSolver {
             _ => None,
         }
     }
+
+    /// The CLI-facing name (matches [`EscapeSolver::parse`]).
+    pub fn label(self) -> &'static str {
+        match self {
+            EscapeSolver::Incremental => "incremental",
+            EscapeSolver::Reference => "reference",
+        }
+    }
 }
 
 /// How the flow traverses the chip: one flat pass, or a hierarchical

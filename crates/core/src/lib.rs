@@ -40,6 +40,7 @@
 mod bench_suite;
 mod config;
 mod detour;
+mod digest;
 mod error;
 mod escape_stage;
 mod flow;
@@ -68,6 +69,7 @@ pub mod stages {
 
 pub use config::{EscapeSolver, FlowConfig, FlowVariant, RoutingMode};
 pub use detour::detour_cluster;
+pub use digest::{config_fingerprint, problem_hash, run_digest};
 pub use error::FlowError;
 pub use flow::PacorFlow;
 // The deterministic fan-out primitives live in `pacor-route` (the

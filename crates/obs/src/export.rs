@@ -38,18 +38,69 @@ fn push_args(out: &mut String, args: &[(&str, u64)]) {
     out.push('}');
 }
 
+fn push_meta_event(out: &mut String, first: &mut bool, kind: &str, tid: Option<u32>, label: &str) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push_str("\n  {\"name\":");
+    push_json_string(out, kind);
+    let _ = write!(out, ",\"ph\":\"M\",\"pid\":{PID}");
+    if let Some(tid) = tid {
+        let _ = write!(out, ",\"tid\":{tid}");
+    }
+    out.push_str(",\"args\":{\"name\":");
+    push_json_string(out, label);
+    out.push_str("}}");
+}
+
 /// Renders the report's event stream as Chrome trace-event JSON: an
 /// array of objects each carrying `name`, `ph`, `ts`, `pid` and `tid`,
 /// loadable directly in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev).
 ///
 /// Spans become complete events (`ph: "X"` with `dur`), instants
-/// `ph: "i"` markers, and counter samples `ph: "C"` series.
+/// `ph: "i"` markers, and counter samples `ph: "C"` series. The stream
+/// is self-describing: it opens with `ph: "M"` metadata naming the
+/// process (`pacor`) and every trace lane (`session` for tid 0, the
+/// parallel `task-N` lanes otherwise), and closes with a synthetic
+/// zero-duration `run.totals` span at tid 0 whose args carry every
+/// counter total, so Perfetto shows the aggregate metrics without a
+/// separate `--metrics-out` file.
 pub fn chrome_trace(report: &ObsReport) -> String {
+    let events = report.events();
+    let has_counters = report.counters().next().is_some();
+    if events.is_empty() && !has_counters {
+        return String::from("[\n]\n");
+    }
     let mut out = String::from("[");
-    for (i, event) in report.events().iter().enumerate() {
-        if i > 0 {
+    let mut first = true;
+    push_meta_event(&mut out, &mut first, "process_name", None, "pacor");
+    let mut tids: Vec<u32> = events
+        .iter()
+        .map(|e| match e {
+            TraceEvent::Span { tid, .. }
+            | TraceEvent::Instant { tid, .. }
+            | TraceEvent::Counter { tid, .. } => *tid,
+        })
+        .collect();
+    if has_counters {
+        tids.push(0); // the synthetic run.totals span lives on lane 0
+    }
+    tids.sort_unstable();
+    tids.dedup();
+    for tid in tids {
+        let label = if tid == 0 {
+            "session".to_string()
+        } else {
+            format!("task-{tid}")
+        };
+        push_meta_event(&mut out, &mut first, "thread_name", Some(tid), &label);
+    }
+    for event in events {
+        if !first {
             out.push(',');
         }
+        first = false;
         out.push_str("\n  {");
         match event {
             TraceEvent::Span {
@@ -95,6 +146,18 @@ pub fn chrome_trace(report: &ObsReport) -> String {
                 );
             }
         }
+        out.push('}');
+    }
+    if has_counters {
+        let totals: Vec<(&str, u64)> = report.counters().collect();
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n  {{\"name\":\"run.totals\",\"ph\":\"X\",\"ts\":0,\"dur\":0,\"pid\":{PID},\"tid\":0,\"args\":"
+        );
+        push_args(&mut out, &totals);
         out.push('}');
     }
     out.push_str("\n]\n");
@@ -149,24 +212,41 @@ pub fn metrics_json(report: &ObsReport) -> String {
     out
 }
 
+/// The staging sibling used by every atomic writer: `<path>.tmp`.
+pub(crate) fn tmp_path_of(path: &Path) -> PathBuf {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    PathBuf::from(tmp)
+}
+
+/// Renames a fully-written staging file into place; a failed rename
+/// removes the staging file so nothing lingers.
+pub(crate) fn rename_or_cleanup(tmp: &Path, path: &Path) -> std::io::Result<()> {
+    match std::fs::rename(tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(tmp);
+            Err(e)
+        }
+    }
+}
+
 /// Writes `contents` to `path` atomically: the bytes go to a
 /// `<path>.tmp` sibling first and are renamed into place, so an
 /// interrupted run never leaves a truncated file behind. A missing
 /// parent directory surfaces as an `Err` (`NotFound`) instead of a
 /// panic; a failed rename cleans the temp file up.
-pub fn write_atomic(path: impl AsRef<Path>, contents: impl AsRef<[u8]>) -> std::io::Result<()> {
+///
+/// This is the one temp+rename implementation in the workspace — the
+/// trace/metrics/report exporters, the run digest and ledger writers,
+/// and the streaming-telemetry [`crate::StreamWriter`] all go through
+/// it (or through its [`tmp_path_of`]/[`rename_or_cleanup`] halves when
+/// they stream into the staging file incrementally).
+pub fn atomic_write(path: impl AsRef<Path>, contents: impl AsRef<[u8]>) -> std::io::Result<()> {
     let path = path.as_ref();
-    let mut tmp = path.as_os_str().to_owned();
-    tmp.push(".tmp");
-    let tmp = PathBuf::from(tmp);
+    let tmp = tmp_path_of(path);
     std::fs::write(&tmp, contents)?;
-    match std::fs::rename(&tmp, path) {
-        Ok(()) => Ok(()),
-        Err(e) => {
-            let _ = std::fs::remove_file(&tmp);
-            Err(e)
-        }
-    }
+    rename_or_cleanup(&tmp, path)
 }
 
 #[cfg(test)]
@@ -186,16 +266,36 @@ mod tests {
         let json = crate::chrome_trace(&report);
         assert!(json.starts_with('['));
         assert!(json.trim_end().ends_with(']'));
-        // Three events, each carrying the mandatory keys.
-        assert_eq!(json.matches("\"ph\":").count(), 3);
-        assert_eq!(json.matches("\"name\":").count(), 3);
-        assert_eq!(json.matches("\"ts\":").count(), 3);
-        assert_eq!(json.matches("\"pid\":").count(), 3);
-        assert_eq!(json.matches("\"tid\":").count(), 3);
-        assert!(json.contains("\"ph\":\"X\""));
-        assert!(json.contains("\"ph\":\"i\""));
-        assert!(json.contains("\"ph\":\"C\""));
+        // Three recorded events + process/thread metadata + the
+        // synthetic run.totals span, every object carrying pid.
+        assert_eq!(json.matches("\"ph\":\"M\"").count(), 2, "{json}");
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 2, "{json}");
+        assert_eq!(json.matches("\"ph\":\"i\"").count(), 1);
+        assert_eq!(json.matches("\"ph\":\"C\"").count(), 1);
+        assert_eq!(json.matches("\"pid\":").count(), 6);
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("{\"name\":\"pacor\"}"));
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("{\"name\":\"session\"}"));
         assert!(json.contains("\"value\":3"));
+        assert!(json.contains("\"run.totals\""));
+        assert!(json.contains("\"c\":3"), "totals carry the counter");
+    }
+
+    #[test]
+    fn trace_metadata_names_every_task_lane() {
+        let session = Session::begin();
+        let (_, frame) = crate::task_frame(2, || {
+            crate::instant("task.work", &[]);
+        });
+        crate::absorb(frame);
+        let report = session.finish();
+        let json = crate::chrome_trace(&report);
+        assert!(json.contains("{\"name\":\"task-2\"}"), "{json}");
+        assert!(
+            !json.contains("\"run.totals\""),
+            "no counters means no totals span"
+        );
     }
 
     #[test]
@@ -229,12 +329,12 @@ mod tests {
     }
 
     #[test]
-    fn write_atomic_replaces_and_cleans_up() {
-        let dir = std::env::temp_dir().join("pacor_obs_write_atomic");
+    fn atomic_write_replaces_and_cleans_up() {
+        let dir = std::env::temp_dir().join("pacor_obs_atomic_write");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("out.json");
-        crate::write_atomic(&path, "first").unwrap();
-        crate::write_atomic(&path, "second").unwrap();
+        crate::atomic_write(&path, "first").unwrap();
+        crate::atomic_write(&path, "second").unwrap();
         assert_eq!(std::fs::read_to_string(&path).unwrap(), "second");
         assert!(
             !dir.join("out.json.tmp").exists(),
@@ -244,11 +344,11 @@ mod tests {
     }
 
     #[test]
-    fn write_atomic_errors_on_missing_parent() {
+    fn atomic_write_errors_on_missing_parent() {
         let path = std::env::temp_dir()
             .join("pacor_obs_no_such_dir")
             .join("out.json");
-        let err = crate::write_atomic(&path, "x").expect_err("parent is missing");
+        let err = crate::atomic_write(&path, "x").expect_err("parent is missing");
         assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
     }
 

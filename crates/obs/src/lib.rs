@@ -28,6 +28,13 @@
 //!   JSONL progress events at stage and round boundaries, with an
 //!   optional watchdog (per-stage wall-clock budgets + heartbeat);
 //!   see the `progress` module docs.
+//! * **Run digests, ledger and diffing** ([`RunDigest`],
+//!   [`ledger_append`], [`diff_runs`]) — a versioned
+//!   (`pacor-rundigest-v1`) longitudinal record of one run (config
+//!   fingerprint, deterministic outcome and metrics, span tree), an
+//!   append-only `RUNS.jsonl` ledger, and a structural cross-run
+//!   differ (`pacor-rundiff-v1`) with noise-aware verdicts; see the
+//!   `digest` module docs.
 //!
 //! # Recording model
 //!
@@ -68,14 +75,27 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod diff;
+mod digest;
 mod export;
 mod frame;
 mod histogram;
+mod json;
+mod ledger;
 mod progress;
 mod recorder;
 mod report;
 
-pub use export::{chrome_trace, metrics_json, write_atomic};
+pub use diff::{
+    diff_json, diff_runs, render_diff, timing_regressed, DiffEntry, RunDiff, Severity, SpanDelta,
+    DIFF_SCHEMA, NOISE_ABS_MS, NOISE_RELATIVE,
+};
+pub use digest::{
+    fnv1a64, is_work_metric, span_tree, ClusterDigest, Fingerprint, HistogramSummary, Outcome,
+    RunDigest, SpanNode, WallFacts, DIGEST_SCHEMA,
+};
+pub use export::{atomic_write, chrome_trace, metrics_json};
+pub use ledger::{latest_baseline, ledger_append, ledger_load};
 pub use frame::{Frame, TraceEvent};
 pub use histogram::Histogram;
 pub use progress::{

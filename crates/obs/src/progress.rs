@@ -479,9 +479,7 @@ impl StreamWriter {
     /// `NotFound` when the parent directory does not exist.
     pub fn create(path: impl Into<PathBuf>) -> io::Result<Self> {
         let path = path.into();
-        let mut tmp = path.as_os_str().to_owned();
-        tmp.push(".tmp");
-        let tmp = PathBuf::from(tmp);
+        let tmp = crate::export::tmp_path_of(&path);
         let file = File::create(&tmp)?;
         Ok(Self {
             tmp,
@@ -516,13 +514,7 @@ impl TelemetrySink for StreamWriter {
         };
         out.flush()?;
         drop(out);
-        match std::fs::rename(&self.tmp, &self.path) {
-            Ok(()) => Ok(()),
-            Err(e) => {
-                let _ = std::fs::remove_file(&self.tmp);
-                Err(e)
-            }
-        }
+        crate::export::rename_or_cleanup(&self.tmp, &self.path)
     }
 }
 

@@ -63,6 +63,16 @@
 //!   baselines in a bench report (4x each stage's worst committed
 //!   time, floored at 50 ms), emitting structured `budget_exceeded`
 //!   events plus a 1 s heartbeat while a stage runs long.
+//! * `--digest-out <path>` — write the run's `pacor-rundigest-v1`
+//!   record (config fingerprint, deterministic outcome/counters/
+//!   histograms, per-cluster LM slack, span tree). Everything outside
+//!   the trailing `wall` sub-object is byte-identical at any
+//!   `--threads`, either negotiation mode, and either rip-up policy
+//!   whenever they route the same result; compare two digests with
+//!   `tables compare`.
+//! * `--ledger <path>` — atomically append the same digest as one
+//!   compact line to an append-only `RUNS.jsonl` run ledger, so later
+//!   runs can find their baseline (`pacor_obs::latest_baseline`).
 //!
 //! Unknown `--flags` are rejected with an error rather than silently
 //! treated as file names.
@@ -82,7 +92,7 @@ fn main() {
         Some("table2") => cmd_table2(&args[1..]),
         _ => {
             eprintln!(
-                "usage: pacor synth <design> [seed]\n       pacor route [--threads N] [--trace-out FILE] [--metrics-out FILE] [--report-out FILE] [--stream-out FILE|-] [--progress] [--watchdog BENCH.json] [--ripup-policy full|incremental] [--negotiation-mode serial|parallel] [--escape-solver incremental|reference] [--routing-mode flat|hierarchical] [--gcell-size N] [--quiet] <problem.json|design>\n       pacor render [--threads N] <problem.json|design>\n       pacor table2 [--full] [--threads N]"
+                "usage: pacor synth <design> [seed]\n       pacor route [--threads N] [--trace-out FILE] [--metrics-out FILE] [--report-out FILE] [--digest-out FILE] [--ledger FILE] [--stream-out FILE|-] [--progress] [--watchdog BENCH.json] [--ripup-policy full|incremental] [--negotiation-mode serial|parallel] [--escape-solver incremental|reference] [--routing-mode flat|hierarchical] [--gcell-size N] [--quiet] <problem.json|design>\n       pacor render [--threads N] <problem.json|design>\n       pacor table2 [--full] [--threads N]"
             );
             2
         }
@@ -110,6 +120,8 @@ struct Options {
     trace_out: Option<String>,
     metrics_out: Option<String>,
     report_out: Option<String>,
+    digest_out: Option<String>,
+    ledger: Option<String>,
     stream_out: Option<String>,
     progress: bool,
     watchdog: Option<String>,
@@ -157,6 +169,8 @@ fn parse_options(args: &[String], allowed: &[&str]) -> Result<Options, String> {
             "--trace-out" => opts.trace_out = Some(value()?),
             "--metrics-out" => opts.metrics_out = Some(value()?),
             "--report-out" => opts.report_out = Some(value()?),
+            "--digest-out" => opts.digest_out = Some(value()?),
+            "--ledger" => opts.ledger = Some(value()?),
             "--stream-out" => opts.stream_out = Some(value()?),
             "--progress" => opts.progress = true,
             "--watchdog" => opts.watchdog = Some(value()?),
@@ -252,11 +266,11 @@ fn cmd_synth(args: &[String]) -> i32 {
 /// `--metrics-out` from a finished outer session.
 fn write_exports(opts: &Options, report: &pacor::obs::ObsReport) -> Result<(), String> {
     if let Some(path) = &opts.trace_out {
-        pacor::obs::write_atomic(path, pacor::obs::chrome_trace(report))
+        pacor::obs::atomic_write(path, pacor::obs::chrome_trace(report))
             .map_err(|e| format!("writing {path}: {e}"))?;
     }
     if let Some(path) = &opts.metrics_out {
-        pacor::obs::write_atomic(path, pacor::obs::metrics_json(report))
+        pacor::obs::atomic_write(path, pacor::obs::metrics_json(report))
             .map_err(|e| format!("writing {path}: {e}"))?;
     }
     Ok(())
@@ -313,6 +327,8 @@ fn cmd_route(args: &[String]) -> i32 {
             "--trace-out",
             "--metrics-out",
             "--report-out",
+            "--digest-out",
+            "--ledger",
             "--stream-out",
             "--progress",
             "--watchdog",
@@ -343,7 +359,10 @@ fn cmd_route(args: &[String]) -> i32 {
     };
     // An outer observability session captures the flow's events (the
     // flow's own nested session merges upward into it on finish).
-    let wants_obs = opts.trace_out.is_some() || opts.metrics_out.is_some();
+    let wants_obs = opts.trace_out.is_some()
+        || opts.metrics_out.is_some()
+        || opts.digest_out.is_some()
+        || opts.ledger.is_some();
     let session = wants_obs.then(pacor::obs::Session::begin);
     let mut config = FlowConfig::default()
         .with_threads(opts.threads)
@@ -414,9 +433,26 @@ fn cmd_route(args: &[String]) -> i32 {
             if let Some(path) = &opts.report_out {
                 let log = flight_log.expect("recorder was installed");
                 let json = pacor::obs::post_mortem_json(&log);
-                if let Err(e) = pacor::obs::write_atomic(path, json) {
+                if let Err(e) = pacor::obs::atomic_write(path, json) {
                     eprintln!("route: writing {path}: {e}");
                     return 1;
+                }
+            }
+            if opts.digest_out.is_some() || opts.ledger.is_some() {
+                let obs_report = obs_report.as_ref().expect("outer session was begun");
+                let digest = pacor::run_digest(&problem, &config, &report, obs_report);
+                if let Some(path) = &opts.digest_out {
+                    if let Err(e) = pacor::obs::atomic_write(path, digest.to_json()) {
+                        eprintln!("route: writing {path}: {e}");
+                        return 1;
+                    }
+                }
+                if let Some(path) = &opts.ledger {
+                    if let Err(e) = pacor::obs::ledger_append(std::path::Path::new(path), &digest)
+                    {
+                        eprintln!("route: writing {path}: {e}");
+                        return 1;
+                    }
                 }
             }
             if !opts.quiet {

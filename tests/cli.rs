@@ -450,6 +450,97 @@ fn watchdog_rejects_unreadable_baseline() {
 }
 
 #[test]
+fn digest_out_writes_versioned_digest() {
+    let dir = std::env::temp_dir().join("pacor_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("s2_digest.json");
+    let out = pacor(&[
+        "route",
+        "--quiet",
+        "--digest-out",
+        path.to_str().unwrap(),
+        "S2",
+    ]);
+    assert!(out.status.success());
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(text.contains("\"schema\": \"pacor-rundigest-v1\""), "{text}");
+    for section in [
+        "\"fingerprint\"",
+        "\"outcome\"",
+        "\"clusters\"",
+        "\"counters\"",
+        "\"histograms\"",
+        "\"wall\"",
+    ] {
+        assert!(text.contains(section), "digest must carry {section}");
+    }
+    // The wall-clock sub-object renders last, so everything before it
+    // is the deterministic prefix other runs can be byte-compared on.
+    assert!(
+        text.find("\"wall\"").unwrap() > text.find("\"histograms\"").unwrap(),
+        "wall must render last: {text}"
+    );
+}
+
+#[test]
+fn digest_deterministic_prefix_identical_across_threads_and_modes() {
+    let dir = std::env::temp_dir().join("pacor_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let run = |extra: &[&str], file: &str| {
+        let path = dir.join(file);
+        let mut args = vec!["route", "--quiet", "--digest-out", path.to_str().unwrap()];
+        args.extend_from_slice(extra);
+        args.push("S2");
+        let out = pacor(&args);
+        assert!(out.status.success(), "{extra:?} must route");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let wall = text.find("\"wall\"").expect("digest has a wall object");
+        text[..wall].to_string()
+    };
+    let base = run(&[], "d_base.json");
+    let threaded = run(&["--threads", "4"], "d_t4.json");
+    let parallel = run(
+        &["--negotiation-mode", "parallel", "--threads", "2"],
+        "d_par.json",
+    );
+    let full = run(&["--ripup-policy", "full"], "d_full.json");
+    assert_eq!(base, threaded, "threads must not move the digest prefix");
+    assert_eq!(base, parallel, "negotiation mode must not move the prefix");
+    assert_eq!(base, full, "rip-up policy must not move the prefix");
+}
+
+#[test]
+fn ledger_accumulates_one_line_per_run() {
+    let dir = std::env::temp_dir().join("pacor_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("runs.jsonl");
+    let _ = std::fs::remove_file(&path);
+    for threads in ["1", "4"] {
+        let out = pacor(&[
+            "route",
+            "--quiet",
+            "--threads",
+            threads,
+            "--ledger",
+            path.to_str().unwrap(),
+            "S1",
+        ]);
+        assert!(out.status.success());
+    }
+    let text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    assert_eq!(lines.len(), 2, "one compact line per run: {text}");
+    for l in &lines {
+        assert!(l.contains("\"schema\": \"pacor-rundigest-v1\""), "{l}");
+        serde_json::from_str::<serde::Value>(l).expect("every ledger line parses");
+    }
+    assert!(
+        !dir.join("runs.jsonl.tmp").exists(),
+        "atomic append must leave no temp file"
+    );
+}
+
+#[test]
 fn export_flags_error_cleanly_on_missing_parent_dir() {
     let missing = std::env::temp_dir()
         .join("pacor_cli_no_such_dir")
@@ -460,6 +551,8 @@ fn export_flags_error_cleanly_on_missing_parent_dir() {
         "--metrics-out",
         "--trace-out",
         "--stream-out",
+        "--digest-out",
+        "--ledger",
     ] {
         let out = pacor(&["route", "--quiet", flag, missing.to_str().unwrap(), "S1"]);
         assert!(!out.status.success(), "{flag} must fail, not succeed");

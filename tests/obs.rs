@@ -25,12 +25,6 @@ fn chrome_trace_is_an_array_of_well_formed_events() {
     };
     assert!(!events.is_empty());
     for event in events {
-        // Every trace event object carries the mandatory keys.
-        for key in ["name", "ph", "ts", "pid", "tid"] {
-            event
-                .field(key)
-                .unwrap_or_else(|_| panic!("event missing `{key}`: {event:?}"));
-        }
         assert!(
             matches!(event.field("name").unwrap(), Value::Str(_)),
             "name must be a string"
@@ -38,7 +32,34 @@ fn chrome_trace_is_an_array_of_well_formed_events() {
         let Value::Str(ph) = event.field("ph").unwrap() else {
             panic!("ph must be a string");
         };
-        assert!(["X", "i", "C"].contains(&ph.as_str()), "unknown phase {ph}");
+        // Every non-metadata event carries the mandatory keys;
+        // metadata (`ph: "M"`) events are timestamp-free by design.
+        let mandatory: &[&str] = if ph == "M" {
+            &["name", "ph", "pid", "args"]
+        } else {
+            &["name", "ph", "ts", "pid", "tid"]
+        };
+        for key in mandatory {
+            event
+                .field(key)
+                .unwrap_or_else(|_| panic!("event missing `{key}`: {event:?}"));
+        }
+        assert!(
+            ["X", "i", "C", "M"].contains(&ph.as_str()),
+            "unknown phase {ph}"
+        );
+    }
+    // The trace names its process and every thread lane, and carries
+    // the counter totals as a zero-duration `run.totals` span.
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| match e.field("name") {
+            Ok(Value::Str(s)) => Some(s.as_str()),
+            _ => None,
+        })
+        .collect();
+    for expected in ["process_name", "thread_name", "run.totals"] {
+        assert!(names.contains(&expected), "trace must carry {expected}");
     }
 }
 

@@ -7,24 +7,33 @@
 
 use pacor_repro::pacor::obs::{self, TraceEvent};
 use pacor_repro::pacor::route::{NegotiationMode, RipUpPolicy};
-use pacor_repro::pacor::{synthesize_params, DesignParams, FlowConfig, PacorFlow, RoutingMode};
+use pacor_repro::pacor::{self, synthesize_params, DesignParams, FlowConfig, PacorFlow, RoutingMode};
 use std::collections::BTreeSet;
+
+/// Dense enough that negotiation rips up and escape recovers, so the
+/// rarer emit sites (rip-up, de-clustering, detouring) all fire.
+const DENSE: DesignParams = DesignParams {
+    name: "D1-dense24",
+    width: 24,
+    height: 24,
+    valves: 18,
+    control_pins: 40,
+    obstacles: 50,
+    multi_clusters: 8,
+    pairs_only: false,
+};
+
+fn read_catalog() -> String {
+    std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/docs/OBSERVABILITY.md"
+    ))
+    .expect("docs/OBSERVABILITY.md exists")
+}
 
 #[test]
 fn every_emitted_name_is_catalogued() {
-    // Dense enough that negotiation rips up and escape recovers, so the
-    // rarer emit sites (rip-up, de-clustering, detouring) all fire.
-    let dense = DesignParams {
-        name: "D1-dense24",
-        width: 24,
-        height: 24,
-        valves: 18,
-        control_pins: 40,
-        obstacles: 50,
-        multi_clusters: 8,
-        pairs_only: false,
-    };
-    let problem = synthesize_params(dense, 42);
+    let problem = synthesize_params(DENSE, 42);
 
     let session = obs::Session::begin();
     let config = FlowConfig::default()
@@ -95,11 +104,7 @@ fn every_emitted_name_is_catalogued() {
         "smoke flow too tame to guard the catalog: {names:?}"
     );
 
-    let catalog = std::fs::read_to_string(concat!(
-        env!("CARGO_MANIFEST_DIR"),
-        "/docs/OBSERVABILITY.md"
-    ))
-    .expect("docs/OBSERVABILITY.md exists");
+    let catalog = read_catalog();
     let missing: Vec<&String> = names
         .iter()
         .filter(|n| !catalog.contains(&format!("`{n}`")))
@@ -107,5 +112,78 @@ fn every_emitted_name_is_catalogued() {
     assert!(
         missing.is_empty(),
         "emitted names missing from docs/OBSERVABILITY.md: {missing:?}"
+    );
+}
+
+/// Recursively collects every object key of a JSON value.
+fn collect_keys(value: &serde::Value, keys: &mut BTreeSet<String>) {
+    match value {
+        serde::Value::Object(entries) => {
+            for (k, v) in entries {
+                keys.insert(k.clone());
+                collect_keys(v, keys);
+            }
+        }
+        serde::Value::Array(items) => {
+            for v in items {
+                collect_keys(v, keys);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[test]
+fn digest_and_diff_schema_keys_are_catalogued() {
+    let problem = synthesize_params(DENSE, 42);
+    let config = FlowConfig::default();
+    let session = obs::Session::begin();
+    let report = PacorFlow::new(config).run(&problem).expect("routes");
+    let obs_report = session.finish();
+    let digest = pacor::run_digest(&problem, &config, &report, &obs_report);
+
+    // A perturbed clone populates every rundiff section: fingerprint
+    // drift, quality drift, counter drift, and span add/remove/change.
+    let mut other = digest.clone();
+    other.fingerprint.config[1].1 = "0.987".to_string();
+    other.outcome.total_length += 1;
+    if let Some(c) = other.counters.first_mut() {
+        c.1 += 1;
+    }
+    let moved = other.wall.spans.remove(0);
+    other.wall.spans.push(obs::SpanNode {
+        name: "added.span".to_string(),
+        ..moved
+    });
+    let diff = obs::diff_runs(&digest, &other);
+    assert!(
+        !diff.fingerprint.is_empty()
+            && !diff.quality.is_empty()
+            && !diff.metrics.is_empty()
+            && !diff.span_added.is_empty()
+            && !diff.span_removed.is_empty(),
+        "perturbation too tame to guard every rundiff section"
+    );
+
+    let mut keys: BTreeSet<String> = BTreeSet::new();
+    let digest_doc: serde::Value =
+        serde_json::from_str(&digest.to_json()).expect("digest JSON parses");
+    collect_keys(&digest_doc, &mut keys);
+    let diff_doc: serde::Value =
+        serde_json::from_str(&obs::diff_json(&diff)).expect("diff JSON parses");
+    collect_keys(&diff_doc, &mut keys);
+    assert!(
+        keys.contains("fingerprint") && keys.contains("span_changed") && keys.contains("slack"),
+        "schema walk too tame to guard the catalog: {keys:?}"
+    );
+
+    let catalog = read_catalog();
+    let missing: Vec<&String> = keys
+        .iter()
+        .filter(|k| !catalog.contains(&format!("`{k}`")))
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "digest/diff schema keys missing from docs/OBSERVABILITY.md: {missing:?}"
     );
 }
